@@ -1,0 +1,213 @@
+// Command sitm-bench regenerates the tables and figures of the SI-TM
+// paper's evaluation (§6) on the simulated machine:
+//
+//	sitm-bench -fig 1          Figure 1: RW vs WW abort breakdown in 2PL
+//	sitm-bench -fig 7          Figure 7: abort rates relative to 2PL
+//	sitm-bench -fig 8          Figure 8: application speedup curves
+//	sitm-bench -table 1        Table 1: simulated architecture
+//	sitm-bench -table 2        Table 2 / Appendix A: MVM version accesses
+//	sitm-bench -all            everything above
+//
+// Flags -seeds, -threads, -word, -dropoldest and -nobackoff expose the
+// evaluation's knobs and ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/plot"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig        = flag.Int("fig", 0, "figure to regenerate (1, 7 or 8)")
+		table      = flag.Int("table", 0, "table to regenerate (1 or 2)")
+		all        = flag.Bool("all", false, "regenerate every figure and table")
+		threads    = flag.Int("threads", 32, "thread count for Figure 1 / Table 2")
+		seeds      = flag.String("seeds", "1,2,3", "comma-separated seeds to average over")
+		word       = flag.Bool("word", false, "enable SI-TM word-granularity conflict filtering (§4.2)")
+		dropOldest = flag.Bool("dropoldest", false, "use the drop-oldest version policy instead of abort-fifth (§3.1)")
+		noBackoff  = flag.Bool("nobackoff", false, "replace exponential backoff with a constant delay (§6.4 ablation)")
+		csvDir     = flag.String("csv", "", "also write figure7.csv / figure8.csv / table2.csv into this directory")
+		verify     = flag.Bool("verify", false, "check the measured data against the paper's qualitative shapes and exit non-zero on deviation")
+		chart      = flag.Bool("chart", false, "also render Figure 7/8 series as ASCII charts")
+		scale      = flag.Int("scale", 1, "workload size multiplier (larger approaches the paper's inputs)")
+		mvmStats   = flag.Bool("mvm", false, "report the §3 MVM behaviour (coalescing, GC, overheads, dedup) per workload")
+	)
+	flag.Parse()
+
+	o := harness.DefaultOptions()
+	o.WordGranularity = *word
+	o.DropOldest = *dropOldest
+	o.NoBackoff = *noBackoff
+	o.Scale = *scale
+	o.Seeds = nil
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		o.Seeds = append(o.Seeds, v)
+	}
+
+	ran := false
+	var findings report.Findings
+	if *all || *table == 1 {
+		harness.Table1(os.Stdout)
+		fmt.Println()
+		ran = true
+	}
+	if *all || *fig == 1 {
+		results := harness.Figure1(os.Stdout, *threads, o)
+		if *verify {
+			shares := make(map[string]float64, len(results))
+			for _, r := range results {
+				if t := r.RWAborts + r.WWAborts; t > 0 {
+					shares[r.Workload] = r.RWAborts / t
+				}
+			}
+			findings = append(findings, report.CheckFigure1(shares)...)
+		}
+		fmt.Println()
+		ran = true
+	}
+	if *all || *fig == 7 {
+		data := harness.Figure7(os.Stdout, o)
+		writeCSV(*csvDir, "figure7.csv", func(w *os.File) error { return harness.WriteFigure7CSV(w, data) })
+		if *chart {
+			chartFigure7(data)
+		}
+		if *verify {
+			findings = append(findings, report.CheckFigure7(data)...)
+		}
+		fmt.Println()
+		ran = true
+	}
+	if *all || *fig == 8 {
+		data := harness.Figure8(os.Stdout, o)
+		writeCSV(*csvDir, "figure8.csv", func(w *os.File) error { return harness.WriteFigure8CSV(w, data) })
+		if *chart {
+			chartFigure8(data)
+		}
+		if *verify {
+			findings = append(findings, report.CheckFigure8(data, harness.Fig8Threads)...)
+		}
+		fmt.Println()
+		ran = true
+	}
+	if *all || *table == 2 {
+		data := harness.Table2(os.Stdout, *threads, o)
+		writeCSV(*csvDir, "table2.csv", func(w *os.File) error { return harness.WriteTable2CSV(w, data) })
+		if *verify {
+			findings = append(findings, report.CheckTable2(data)...)
+		}
+		fmt.Println()
+		ran = true
+	}
+	if *all || *mvmStats {
+		harness.MVMReport(os.Stdout, *threads, o)
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *verify {
+		fmt.Println("Shape verification against the paper's claims:")
+		fmt.Print(findings)
+		if !findings.AllOK() {
+			os.Exit(1)
+		}
+	}
+}
+
+// chartFigure7 renders the abort-ratio series per benchmark (log y).
+func chartFigure7(data map[string]map[int][3]float64) {
+	for _, name := range sortedNames(data) {
+		rows := data[name]
+		var ticks []string
+		series := []plot.Series{{Name: "2PL"}, {Name: "SONTM"}, {Name: "SI-TM"}}
+		for _, th := range harness.Fig7Threads {
+			ticks = append(ticks, strconv.Itoa(th))
+			row := rows[th]
+			for e := 0; e < 3; e++ {
+				series[e].Points = append(series[e].Points, row[e])
+			}
+		}
+		c := plot.Chart{
+			Title: name + " — aborts relative to 2PL", XLabel: "threads",
+			YLabel: "rel. aborts (log)", XTicks: ticks, Series: series, LogY: true,
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: chart: %v\n", err)
+			return
+		}
+		fmt.Println()
+	}
+}
+
+// chartFigure8 renders the speedup curves per benchmark.
+func chartFigure8(data map[string]map[string][]float64) {
+	for _, name := range sortedNames(data) {
+		var ticks []string
+		for _, th := range harness.Fig8Threads {
+			ticks = append(ticks, strconv.Itoa(th))
+		}
+		var series []plot.Series
+		for _, engine := range []string{"2PL", "SONTM", "SI-TM"} {
+			if pts, ok := data[name][engine]; ok {
+				series = append(series, plot.Series{Name: engine, Points: pts})
+			}
+		}
+		c := plot.Chart{
+			Title: name + " — speedup", XLabel: "threads",
+			YLabel: "x over 1 thread", XTicks: ticks, Series: series,
+		}
+		if err := c.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: chart: %v\n", err)
+			return
+		}
+		fmt.Println()
+	}
+}
+
+// sortedNames returns map keys in sorted order.
+func sortedNames[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeCSV writes one CSV artefact into dir when -csv is set.
+func writeCSV(dir, name string, fill func(*os.File) error) {
+	if dir == "" {
+		return
+	}
+	path := dir + string(os.PathSeparator) + name
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sitm-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	err = fill(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sitm-bench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

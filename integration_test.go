@@ -1,0 +1,211 @@
+// Integration tests exercising the whole stack — engines, multiversioned
+// memory, data structures, workloads and the write-skew tool — together,
+// the way a downstream user composes them.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/micro"
+	"repro/internal/sched"
+	"repro/internal/skew"
+	"repro/internal/sontm"
+	"repro/internal/stamp"
+	"repro/internal/tm"
+	"repro/internal/twopl"
+	"repro/internal/txlib"
+)
+
+// engines returns fresh instances of all three TM implementations.
+func engines() []tm.Engine {
+	return []tm.Engine{
+		twopl.New(twopl.DefaultConfig()),
+		sontm.New(sontm.DefaultConfig()),
+		core.New(core.DefaultConfig()),
+	}
+}
+
+// TestMixedContainersConsistentOnEveryEngine drives a bank built from the
+// transactional containers (accounts in a hash table, an audit queue, an
+// index tree) on every engine and checks cross-structure invariants.
+func TestMixedContainersConsistentOnEveryEngine(t *testing.T) {
+	for _, e := range engines() {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			if si, ok := e.(*core.Engine); ok {
+				// The paper's repair for the tree's write skews.
+				si.Promote(txlib.SiteRBInsert)
+				si.Promote(txlib.SiteRBDelete)
+				si.Promote(txlib.SiteRBFixup)
+			}
+			m := txlib.NewMem(e)
+			accounts := txlib.NewHashtable(m, 32)
+			audit := txlib.NewQueue(m)
+			index := txlib.NewRBTree(m)
+			const nAccounts = 16
+			seed := map[uint64]uint64{}
+			for i := uint64(1); i <= nAccounts; i++ {
+				seed[i] = 1000
+			}
+			accounts.SeedNonTx(seed)
+
+			s := sched.New(6, 31)
+			s.Run(func(th *sched.Thread) {
+				r := th.Rand()
+				for i := 0; i < 30; i++ {
+					from := uint64(1 + r.Intn(nAccounts))
+					to := uint64(1 + r.Intn(nAccounts))
+					if from == to {
+						continue
+					}
+					amount := uint64(1 + r.Intn(50))
+					err := tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+						bal, _ := accounts.Get(tx, from)
+						if bal < amount {
+							return nil
+						}
+						accounts.Set(tx, from, bal-amount)
+						toBal, _ := accounts.Get(tx, to)
+						accounts.Set(tx, to, toBal+amount)
+						audit.Push(tx, from<<32|to)
+						index.Insert(tx, uint64(th.ID())<<32|uint64(i), amount)
+						return nil
+					})
+					if err != nil {
+						t.Errorf("transfer: %v", err)
+					}
+				}
+			})
+
+			// Invariant 1: money conserved.
+			var total uint64
+			s2 := sched.New(1, 1)
+			var audited int
+			s2.Run(func(th *sched.Thread) {
+				_ = tm.Atomic(e, th, tm.BackoffConfig{}, func(tx tm.Txn) error {
+					total = 0
+					for i := uint64(1); i <= nAccounts; i++ {
+						v, _ := accounts.Get(tx, i)
+						total += v
+					}
+					return nil
+				})
+				// Invariant 2: the audit log drains cleanly.
+				_ = tm.Atomic(e, th, tm.BackoffConfig{}, func(tx tm.Txn) error {
+					audited = 0
+					for {
+						if _, ok := audit.Pop(tx); !ok {
+							return nil
+						}
+						audited++
+					}
+				})
+				// Invariant 3: the index tree is structurally valid.
+				_ = tm.Atomic(e, th, tm.BackoffConfig{}, func(tx tm.Txn) error {
+					if msg := index.CheckInvariants(tx); msg != "" {
+						t.Errorf("index tree: %s", msg)
+					}
+					if audited != len(index.Keys(tx)) {
+						t.Errorf("audit entries %d != index entries %d", audited, len(index.Keys(tx)))
+					}
+					return nil
+				})
+			})
+			if total != nAccounts*1000 {
+				t.Errorf("total = %d, want %d", total, nAccounts*1000)
+			}
+		})
+	}
+}
+
+// TestToolWorkflowEndToEnd runs the full §5.1 loop on the unsafe list:
+// trace, analyse, repair, re-run, confirm consistency.
+func TestToolWorkflowEndToEnd(t *testing.T) {
+	runOnce := func(promote *skew.Report) (*skew.Recorder, string) {
+		e := core.New(core.DefaultConfig())
+		if promote != nil {
+			promote.Promote(e)
+		}
+		rec := skew.NewRecorder()
+		e.SetTracer(rec)
+		m := txlib.NewMem(e)
+		l := txlib.NewList(m)
+		l.UnsafeRemove = true
+		var keys []uint64
+		for i := uint64(1); i <= 40; i++ {
+			keys = append(keys, i*2)
+		}
+		l.SeedNonTx(keys)
+		sched.New(4, 19).Run(func(th *sched.Thread) {
+			r := th.Rand()
+			for i := 0; i < 30; i++ {
+				k := uint64(1 + r.Intn(80))
+				_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+					if r.Intn(2) == 0 {
+						l.Insert(tx, k, k)
+					} else {
+						l.Remove(tx, k)
+					}
+					return nil
+				})
+			}
+		})
+		ks := l.KeysNonTx()
+		for i := 1; i < len(ks); i++ {
+			if ks[i] <= ks[i-1] {
+				return rec, "list unsorted"
+			}
+		}
+		return rec, ""
+	}
+
+	rec, _ := runOnce(nil)
+	rep := rec.Analyze()
+	if !rep.HasSkew() {
+		t.Skip("schedule exercised no skew (best-effort tool)")
+	}
+	cov := rec.MeasureCoverage()
+	if cov.PairsCovered == 0 {
+		t.Fatal("coverage reports nothing despite detected cycles")
+	}
+	_, consistency := runOnce(rep)
+	if consistency != "" {
+		t.Fatalf("repaired run still inconsistent: %s", consistency)
+	}
+}
+
+// TestHarnessHeadlineResult asserts the reproduction's headline at the
+// integration level: SI-TM cuts List aborts by an order of magnitude over
+// 2PL and commits strictly more cheaply.
+func TestHarnessHeadlineResult(t *testing.T) {
+	o := harness.Options{Seeds: []uint64{1}}
+	f := func() harness.Workload { return micro.NewList() }
+	base := harness.Run(harness.TwoPL, f, 16, o)
+	cs := harness.Run(harness.SONTM, f, 16, o)
+	si := harness.Run(harness.SITM, f, 16, o)
+	if !(si.Aborts < cs.Aborts && cs.Aborts < base.Aborts) {
+		t.Fatalf("abort ordering violated: 2PL=%v SONTM=%v SI=%v", base.Aborts, cs.Aborts, si.Aborts)
+	}
+	if si.Aborts*10 > base.Aborts {
+		t.Fatalf("SI-TM aborts %v not an order of magnitude below 2PL %v", si.Aborts, base.Aborts)
+	}
+	if si.Makespan >= base.Makespan {
+		t.Fatalf("SI-TM makespan %v not better than 2PL %v", si.Makespan, base.Makespan)
+	}
+}
+
+// TestStampKernelsDeterministicAcrossEngines pins determinism at the
+// integration level: identical seeds give identical results per engine.
+func TestStampKernelsDeterministicAcrossEngines(t *testing.T) {
+	o := harness.Options{Seeds: []uint64{5}}
+	for _, kind := range []harness.EngineKind{harness.TwoPL, harness.SONTM, harness.SITM} {
+		f := func() harness.Workload { return stamp.NewVacation() }
+		a := harness.Run(kind, f, 8, o)
+		b := harness.Run(kind, f, 8, o)
+		if a.Aborts != b.Aborts || a.Makespan != b.Makespan || a.Commits != b.Commits {
+			t.Fatalf("%v nondeterministic: %+v vs %+v", kind, a, b)
+		}
+	}
+}

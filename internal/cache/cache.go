@@ -1,0 +1,250 @@
+// Package cache models the simulated memory hierarchy of Table 1 in the
+// SI-TM paper: per-core private L1/L2 caches and a shared L3, each
+// set-associative with LRU replacement, plus the MVM indirection penalty and
+// the optional translation cache of §3.2/§4.1.
+//
+// The model charges latency per access; it does not model MESI states. On
+// transaction commit, written lines are invalidated in other cores' private
+// caches ("snapshots need to be invalidated during commit", §4.4), which is
+// the part of coherency that matters for the paper's timing shape.
+package cache
+
+import "repro/internal/mem"
+
+// Config mirrors Table 1 of the paper.
+type Config struct {
+	L1SizeBytes int // 32 KiB
+	L1Ways      int // 4
+	L1Latency   uint64
+
+	L2SizeBytes int // 256 KiB
+	L2Ways      int // 8
+	L2Latency   uint64
+
+	L3SizeBytes int // 32 MiB total
+	L3Ways      int // 16
+	L3Latency   uint64
+	// MVMPartBytes of the L3 form the MVM partition that caches
+	// version-list lines (Table 1: 8 MiB).
+	MVMPartBytes int
+
+	MemLatency uint64 // 100 cycles
+
+	// XlateEntries is the size of the per-core translation cache that
+	// holds recently used version-list lines (§3.2). A hit hides the
+	// MVM indirection latency; 0 disables the cache.
+	XlateEntries int
+}
+
+// DefaultConfig returns the simulated architecture of Table 1.
+func DefaultConfig() Config {
+	return Config{
+		L1SizeBytes: 32 << 10, L1Ways: 4, L1Latency: 4,
+		L2SizeBytes: 256 << 10, L2Ways: 8, L2Latency: 8,
+		L3SizeBytes: 32 << 20, L3Ways: 16, L3Latency: 30,
+		MVMPartBytes: 8 << 20,
+		MemLatency:   100,
+		XlateEntries: 64,
+	}
+}
+
+// level is one set-associative cache with LRU replacement. Power-of-two
+// set counts index with a mask; other sizes (e.g. the 24 MiB data region
+// left after carving the MVM partition out of the L3) fall back to
+// modulo.
+type level struct {
+	sets    int
+	ways    int
+	tags    []mem.Line // sets*ways entries; 0 means empty (line 0 unused)
+	stamps  []uint64   // LRU timestamps, parallel to tags
+	clock   uint64
+	setMask uint64 // sets-1 when sets is a power of two, else 0
+}
+
+func newLevel(sizeBytes, ways int) *level {
+	sets := sizeBytes / mem.LineBytes / ways
+	if sets <= 0 {
+		panic("cache: set count must be positive")
+	}
+	l := &level{
+		sets: sets, ways: ways,
+		tags:   make([]mem.Line, sets*ways),
+		stamps: make([]uint64, sets*ways),
+	}
+	if sets&(sets-1) == 0 {
+		l.setMask = uint64(sets - 1)
+	}
+	return l
+}
+
+// setOf maps a line to its set index.
+func (l *level) setOf(line mem.Line) int {
+	if l.setMask != 0 {
+		return int(uint64(line) & l.setMask)
+	}
+	return int(uint64(line) % uint64(l.sets))
+}
+
+// access looks up line; on miss it fills the line, evicting LRU.
+// It reports whether the access hit.
+func (l *level) access(line mem.Line) bool {
+	l.clock++
+	base := l.setOf(line) * l.ways
+	victim, oldest := base, ^uint64(0)
+	for i := base; i < base+l.ways; i++ {
+		if l.tags[i] == line {
+			l.stamps[i] = l.clock
+			return true
+		}
+		if l.stamps[i] < oldest {
+			oldest, victim = l.stamps[i], i
+		}
+	}
+	l.tags[victim] = line
+	l.stamps[victim] = l.clock
+	return false
+}
+
+// invalidate removes line if present.
+func (l *level) invalidate(line mem.Line) {
+	base := l.setOf(line) * l.ways
+	for i := base; i < base+l.ways; i++ {
+		if l.tags[i] == line {
+			l.tags[i] = 0
+			l.stamps[i] = 0
+		}
+	}
+}
+
+// Stats counts hits per level for one core.
+type Stats struct {
+	L1Hits, L2Hits, L3Hits, MemAccesses uint64
+	XlateHits, XlateMisses              uint64
+}
+
+// Hierarchy is the private L1/L2 (+ translation cache) of one core wired to
+// a shared L3. It is used only under the deterministic scheduler, so the
+// shared L3 needs no locking.
+type Hierarchy struct {
+	cfg   Config
+	l1    *level
+	l2    *level
+	l3    *Shared
+	xlate *level
+	Stats Stats
+}
+
+// Shared is the L3 cache shared by all cores. Per Table 1 it is split
+// into a data region and an MVM partition that caches version-list lines
+// ("both the version list as well as multiversioned data is stored in the
+// MVM partition"; "version list entries can be cached in the L3", §3.2).
+type Shared struct {
+	cfg Config
+	l3  *level
+	mvm *level
+}
+
+// NewShared builds the shared L3 for cfg: the MVM partition is carved out
+// of the configured L3 size.
+func NewShared(cfg Config) *Shared {
+	dataBytes := cfg.L3SizeBytes - cfg.MVMPartBytes
+	if dataBytes <= 0 {
+		dataBytes = cfg.L3SizeBytes
+	}
+	s := &Shared{cfg: cfg, l3: newLevel(dataBytes, cfg.L3Ways)}
+	if cfg.MVMPartBytes > 0 {
+		s.mvm = newLevel(cfg.MVMPartBytes, cfg.L3Ways)
+	}
+	return s
+}
+
+// NewHierarchy builds one core's private hierarchy attached to shared.
+func NewHierarchy(cfg Config, shared *Shared) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1SizeBytes, cfg.L1Ways), l2: newLevel(cfg.L2SizeBytes, cfg.L2Ways), l3: shared}
+	if cfg.XlateEntries > 0 {
+		h.xlate = newLevel(cfg.XlateEntries*mem.LineBytes, 4)
+	}
+	return h
+}
+
+// Access charges a plain (non-versioned) access to line and returns its
+// latency in cycles.
+func (h *Hierarchy) Access(line mem.Line) uint64 {
+	if h.l1.access(line) {
+		h.Stats.L1Hits++
+		return h.cfg.L1Latency
+	}
+	if h.l2.access(line) {
+		h.Stats.L2Hits++
+		return h.cfg.L2Latency
+	}
+	if h.l3.l3.access(line) {
+		h.Stats.L3Hits++
+		return h.cfg.L3Latency
+	}
+	h.Stats.MemAccesses++
+	return h.cfg.MemLatency
+}
+
+// AccessVersioned charges a transactional access to a multiversioned line.
+// If the access is served by a private cache the indirection layer is not
+// involved (L1/L2 hold the already-resolved version, §3.2). On an L2 miss
+// the version-list entry must be consulted before the data line: a
+// translation-cache hit hides that lookup, otherwise the indirection adds
+// one L3-latency round trip ("less costly than two full round trip times").
+func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
+	if h.l1.access(line) {
+		h.Stats.L1Hits++
+		return h.cfg.L1Latency
+	}
+	if h.l2.access(line) {
+		h.Stats.L2Hits++
+		return h.cfg.L2Latency
+	}
+	// On an L2 miss the version-list entry must be consulted before
+	// the data line: the translation cache hides the lookup entirely;
+	// otherwise the entry is fetched from the L3's MVM partition, or
+	// from memory when not resident there.
+	var indirection uint64
+	if h.xlate != nil && h.xlate.access(xlateLine(line)) {
+		h.Stats.XlateHits++
+	} else {
+		h.Stats.XlateMisses++
+		if h.l3.mvm != nil && h.l3.mvm.access(xlateLine(line)) {
+			indirection = h.cfg.L3Latency
+		} else if h.l3.mvm != nil {
+			indirection = h.cfg.MemLatency
+		} else {
+			indirection = h.cfg.L3Latency
+		}
+	}
+	if h.l3.l3.access(line) {
+		h.Stats.L3Hits++
+		return h.cfg.L3Latency + indirection
+	}
+	h.Stats.MemAccesses++
+	return h.cfg.MemLatency + indirection
+}
+
+// Invalidate drops line from the private caches of this core. Engines call
+// it on every core other than the committer for each committed line (§4.4).
+// The version-list entry changed too, so the cached translation (and the
+// partition-resident version-list line) are dropped as well.
+func (h *Hierarchy) Invalidate(line mem.Line) {
+	h.l1.invalidate(line)
+	h.l2.invalidate(line)
+	if h.xlate != nil {
+		h.xlate.invalidate(xlateLine(line))
+	}
+	if h.l3.mvm != nil {
+		h.l3.mvm.invalidate(xlateLine(line))
+	}
+}
+
+// xlateLine maps a data line to the version-list line that holds its
+// indirection entry: one 64-byte line holds eight version-list entries
+// (§3.2 — "a single cache line contains eight version references").
+func xlateLine(line mem.Line) mem.Line { return line >> 3 }
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }

@@ -1,0 +1,186 @@
+// Package clock provides the global timestamp machinery of SI-TM (§4.1,
+// §4.2): a global timestamp counter handing out start and end timestamps,
+// the Δ-reservation commit window that prevents newly started transactions
+// from observing partially committed write sets, and the active-transaction
+// table used by the multiversioned memory for garbage collection and
+// version coalescing (§3.1).
+//
+// The paper's hardware obtains an end timestamp equal to the current global
+// timestamp plus Δ, so that transactions which begin while the commit is in
+// progress cannot observe its half-installed write set, and stalls starters
+// that would catch up with an in-flight commit (§4.2). This package
+// realises the same guarantee in software with an in-flight window: end
+// timestamps are reserved strictly above every start timestamp issued so
+// far, and transactions that want to begin while any commit is in flight
+// stall until the window drains. Stalling starters is the paper's own
+// escape hatch for the exhausted-Δ case; applying it whenever a commit is
+// in flight additionally keeps version coalescing safe, because a future
+// snapshot can then never land between a coalesced-away version and its
+// replacement (fresh start timestamps are always above every issued end).
+package clock
+
+import "fmt"
+
+// Timestamp is a point in the global transactional time of the machine.
+// Timestamp 0 precedes every transaction; pre-existing (initial) data is
+// installed at timestamp 0.
+type Timestamp uint64
+
+// Clock is the global timestamp counter plus the in-flight commit window.
+// It is used only under the deterministic scheduler and needs no locking.
+type Clock struct {
+	// next is the source of monotonically increasing timestamps.
+	next Timestamp
+	// inflight holds end timestamps of commits that are reserved but
+	// not yet completed, in ascending (reservation) order.
+	inflight []Timestamp
+
+	// MaxInflight bounds how many commits may be in flight at once —
+	// the hardware Δ of §4.2. 0 means unbounded. When the window is
+	// full, the paper stalls the next starting transaction.
+	MaxInflight int
+
+	// Stalls counts how often a transaction had to stall on a full
+	// commit window.
+	Stalls uint64
+}
+
+// New returns a clock at time zero.
+func New() *Clock { return &Clock{} }
+
+// Begin issues a unique start timestamp for a new transaction. It must be
+// called only when no commit is in flight (MustStall reports that); the
+// engine stalls the thread otherwise. Because ends are reserved above every
+// issued timestamp and begins wait out in-flight commits, a start timestamp
+// is always above every committed version and below every future install,
+// so the snapshot at start is transaction-consistent.
+func (c *Clock) Begin() Timestamp {
+	if len(c.inflight) > 0 {
+		panic("clock: Begin while commits are in flight")
+	}
+	c.next++
+	return c.next
+}
+
+// MustStall reports whether a transaction wanting to begin has to stall:
+// either a commit is in flight, or the bounded window is exhausted (§4.2:
+// the starting transaction stalls until the commit is processed).
+func (c *Clock) MustStall() bool {
+	if len(c.inflight) > 0 {
+		return true
+	}
+	return c.MaxInflight > 0 && len(c.inflight) >= c.MaxInflight
+}
+
+// ReserveEnd reserves an end timestamp for a committing transaction. The
+// end is strictly greater than every start timestamp issued so far, so
+// versions installed at this timestamp are invisible to all concurrent
+// snapshots until the commit completes and later transactions begin above
+// it.
+func (c *Clock) ReserveEnd() Timestamp {
+	c.next++
+	end := c.next
+	c.inflight = append(c.inflight, end)
+	return end
+}
+
+// CompleteEnd retires a reservation made by ReserveEnd, whether the commit
+// succeeded or rolled back.
+func (c *Clock) CompleteEnd(end Timestamp) {
+	for i, e := range c.inflight {
+		if e == end {
+			c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("clock: CompleteEnd(%d) not in flight", end))
+}
+
+// InFlight returns the number of unfinished commits.
+func (c *Clock) InFlight() int { return len(c.inflight) }
+
+// OldestInflight returns the smallest unfinished end timestamp and true,
+// or 0 and false when no commit is in flight.
+func (c *Clock) OldestInflight() (Timestamp, bool) {
+	if len(c.inflight) == 0 {
+		return 0, false
+	}
+	m := c.inflight[0]
+	for _, e := range c.inflight[1:] {
+		if e < m {
+			m = e
+		}
+	}
+	return m, true
+}
+
+// Now returns the most recently issued timestamp.
+func (c *Clock) Now() Timestamp { return c.next }
+
+// ActiveTable tracks the start timestamps of in-flight transactions. The
+// paper stores these in a priority queue whose head is the oldest active
+// transaction (§3.1); the table answers the two queries the multiversioned
+// memory needs: the oldest active start (garbage collection) and whether
+// any active start falls inside a half-open interval (version coalescing).
+// The population is bounded by the hardware thread count, so linear scans
+// are exact and cheap.
+type ActiveTable struct {
+	starts []Timestamp
+}
+
+// NewActiveTable returns an empty table.
+func NewActiveTable() *ActiveTable { return &ActiveTable{} }
+
+// Register records a transaction's start timestamp.
+func (t *ActiveTable) Register(s Timestamp) {
+	t.starts = append(t.starts, s)
+}
+
+// Deregister removes one occurrence of start timestamp s. It panics if s
+// is not registered, which would indicate an engine bookkeeping bug.
+func (t *ActiveTable) Deregister(s Timestamp) {
+	for i, v := range t.starts {
+		if v == s {
+			last := len(t.starts) - 1
+			t.starts[i] = t.starts[last]
+			t.starts = t.starts[:last]
+			return
+		}
+	}
+	panic(fmt.Sprintf("clock: Deregister(%d) not active", s))
+}
+
+// OldestActive returns the smallest registered start timestamp and true,
+// or 0 and false if no transaction is active.
+func (t *ActiveTable) OldestActive() (Timestamp, bool) {
+	if len(t.starts) == 0 {
+		return 0, false
+	}
+	m := t.starts[0]
+	for _, v := range t.starts[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, true
+}
+
+// AnyIn reports whether some active start timestamp s satisfies
+// lo <= s < hi. Version coalescing creates a new version only if a start
+// timestamp separates it from the previous version (§3.1).
+func (t *ActiveTable) AnyIn(lo, hi Timestamp) bool {
+	for _, v := range t.starts {
+		if lo <= v && v < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of active transactions.
+func (t *ActiveTable) Len() int { return len(t.starts) }
+
+// Starts returns the registered start timestamps (shared slice; callers
+// must not modify it). The multiversioned memory walks it to decide which
+// versions remain reachable.
+func (t *ActiveTable) Starts() []Timestamp { return t.starts }

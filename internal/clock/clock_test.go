@@ -1,0 +1,194 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBeginMonotonicUnique(t *testing.T) {
+	c := New()
+	var last Timestamp
+	for i := 0; i < 100; i++ {
+		s := c.Begin()
+		if s <= last {
+			t.Fatalf("start %d not above previous %d", s, last)
+		}
+		last = s
+	}
+}
+
+func TestEndAboveAllStarts(t *testing.T) {
+	c := New()
+	s1 := c.Begin()
+	s2 := c.Begin()
+	e := c.ReserveEnd()
+	if e <= s1 || e <= s2 {
+		t.Fatalf("end %d not above starts %d,%d", e, s1, s2)
+	}
+	c.CompleteEnd(e)
+}
+
+func TestMustStallWhileInFlight(t *testing.T) {
+	c := New()
+	if c.MustStall() {
+		t.Fatal("fresh clock must not stall")
+	}
+	e := c.ReserveEnd()
+	if !c.MustStall() {
+		t.Fatal("in-flight commit must stall starters")
+	}
+	c.CompleteEnd(e)
+	if c.MustStall() {
+		t.Fatal("drained window must not stall")
+	}
+}
+
+func TestBeginPanicsWhileInFlight(t *testing.T) {
+	c := New()
+	c.ReserveEnd()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Begin()
+}
+
+func TestOverlappingCommitsCompleteAnyOrder(t *testing.T) {
+	c := New()
+	e1 := c.ReserveEnd()
+	e2 := c.ReserveEnd()
+	if o, ok := c.OldestInflight(); !ok || o != e1 {
+		t.Fatalf("oldest in flight = %d,%v want %d", o, ok, e1)
+	}
+	c.CompleteEnd(e2) // out of order completion is allowed
+	if o, ok := c.OldestInflight(); !ok || o != e1 {
+		t.Fatalf("oldest in flight after e2 = %d,%v want %d", o, ok, e1)
+	}
+	c.CompleteEnd(e1)
+	if _, ok := c.OldestInflight(); ok {
+		t.Fatal("window should be empty")
+	}
+	// Starts after drain are above both ends.
+	if s := c.Begin(); s <= e2 {
+		t.Fatalf("post-drain start %d not above end %d", s, e2)
+	}
+}
+
+func TestCompleteEndUnknownPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.CompleteEnd(42)
+}
+
+func TestStartsNeverReachInflightEnds(t *testing.T) {
+	// Property: any interleaving of Begin (when allowed) and
+	// Reserve/Complete keeps every start below every end that was in
+	// flight when the start was issued.
+	f := func(ops []bool) bool {
+		c := New()
+		var inflight []Timestamp
+		for _, commit := range ops {
+			if commit {
+				if len(inflight) > 0 && len(inflight)%2 == 0 {
+					// complete the oldest half the time
+					c.CompleteEnd(inflight[0])
+					inflight = inflight[1:]
+				} else {
+					inflight = append(inflight, c.ReserveEnd())
+				}
+			} else if !c.MustStall() {
+				s := c.Begin()
+				for _, e := range inflight {
+					if s >= e {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveTableOldest(t *testing.T) {
+	a := NewActiveTable()
+	if _, ok := a.OldestActive(); ok {
+		t.Fatal("empty table has no oldest")
+	}
+	a.Register(10)
+	a.Register(5)
+	a.Register(7)
+	if o, ok := a.OldestActive(); !ok || o != 5 {
+		t.Fatalf("oldest = %d,%v want 5", o, ok)
+	}
+	a.Deregister(5)
+	if o, _ := a.OldestActive(); o != 7 {
+		t.Fatalf("oldest = %d want 7", o)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("len = %d want 2", a.Len())
+	}
+}
+
+func TestActiveTableDuplicates(t *testing.T) {
+	a := NewActiveTable()
+	a.Register(3)
+	a.Register(3)
+	a.Deregister(3)
+	if o, ok := a.OldestActive(); !ok || o != 3 {
+		t.Fatalf("oldest = %d,%v want 3 (one copy left)", o, ok)
+	}
+}
+
+func TestActiveTableDeregisterUnknownPanics(t *testing.T) {
+	a := NewActiveTable()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Deregister(1)
+}
+
+func TestActiveTableAnyIn(t *testing.T) {
+	a := NewActiveTable()
+	a.Register(5)
+	cases := []struct {
+		lo, hi Timestamp
+		want   bool
+	}{
+		{0, 5, false}, // half-open: 5 not in [0,5)
+		{5, 6, true},  // 5 in [5,6)
+		{4, 10, true},
+		{6, 10, false},
+	}
+	for _, c := range cases {
+		if got := a.AnyIn(c.lo, c.hi); got != c.want {
+			t.Errorf("AnyIn(%d,%d) = %v, want %v", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestActiveTableAnyInProperty(t *testing.T) {
+	f := func(starts []uint8, lo, hi uint8) bool {
+		a := NewActiveTable()
+		want := false
+		for _, s := range starts {
+			a.Register(Timestamp(s))
+			if Timestamp(lo) <= Timestamp(s) && Timestamp(s) < Timestamp(hi) {
+				want = true
+			}
+		}
+		return a.AnyIn(Timestamp(lo), Timestamp(hi)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

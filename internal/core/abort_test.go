@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// Residual abort-path coverage: explicit aborts under SSI, idempotent
+// finish handling, and the engine state left behind by each abort kind.
+
+func TestExplicitAbortUnderSSIDropsReaders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Serializable = true
+	e := New(cfg)
+	e.NonTxWrite(addr(1), 1)
+	single(t, e, func(th *sched.Thread) {
+		tx := e.Begin(th)
+		_ = tx.Read(addr(1))
+		tx.Abort()
+		// The aborted reader must not constrain a later writer.
+		w := e.Begin(th)
+		w.Write(addr(1), 2)
+		if err := w.Commit(); err != nil {
+			t.Fatalf("writer after aborted reader: %v", err)
+		}
+	})
+	e.pruneSSI()
+	if len(e.readers) != 0 {
+		t.Fatalf("aborted reader left %d reader entries", len(e.readers))
+	}
+}
+
+func TestDoubleAbortIsIdempotent(t *testing.T) {
+	e := New(DefaultConfig())
+	single(t, e, func(th *sched.Thread) {
+		tx := e.Begin(th)
+		tx.Write(addr(1), 1)
+		tx.Abort()
+		tx.Abort() // second abort must be a no-op
+	})
+	if e.Stats().Aborts[tm.AbortExplicit] != 1 {
+		t.Fatalf("explicit aborts = %d, want 1", e.Stats().Aborts[tm.AbortExplicit])
+	}
+	if e.Clock().InFlight() != 0 {
+		t.Fatal("abort left the window dirty")
+	}
+}
+
+func TestCommitAfterAbortPanics(t *testing.T) {
+	e := New(DefaultConfig())
+	single(t, e, func(th *sched.Thread) {
+		tx := e.Begin(th)
+		tx.Abort()
+		defer func() {
+			if recover() == nil {
+				t.Error("Commit after Abort must panic (misuse)")
+			}
+		}()
+		_ = tx.Commit()
+	})
+}
+
+func TestAbortRollsBackNothingVisible(t *testing.T) {
+	// §4.3: "On abort, no time-consuming undo needs to be performed as
+	// the previous version still exists."
+	e := New(DefaultConfig())
+	e.NonTxWrite(addr(1), 5)
+	single(t, e, func(th *sched.Thread) {
+		before := e.MVM().Stats().Installs
+		tx := e.Begin(th)
+		for i := 0; i < 16; i++ {
+			tx.Write(addr(1+i), uint64(100+i))
+		}
+		tx.Abort()
+		if got := e.MVM().Stats().Installs; got != before {
+			t.Errorf("abort installed %d versions", got-before)
+		}
+	})
+	if e.NonTxRead(addr(1)) != 5 {
+		t.Fatal("aborted writes leaked")
+	}
+}
+
+func TestStatsResetBetweenPhases(t *testing.T) {
+	e := New(DefaultConfig())
+	single(t, e, func(th *sched.Thread) {
+		tx := e.Begin(th)
+		tx.Write(addr(1), 1)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if e.Stats().Commits != 1 {
+		t.Fatal("commit not counted")
+	}
+	e.Stats().Reset()
+	e.MVM().ResetStats()
+	if e.Stats().Commits != 0 || e.MVM().Stats().Installs != 0 {
+		t.Fatal("reset did not clear counters")
+	}
+}

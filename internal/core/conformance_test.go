@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tm"
+	"repro/internal/tmtest"
+)
+
+func TestConformanceSITM(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		return core.New(core.DefaultConfig())
+	})
+}
+
+func TestSnapshotIsolationSemanticsSITM(t *testing.T) {
+	tmtest.RunSnapshotIsolationSuite(t, func() tm.Engine {
+		return core.New(core.DefaultConfig())
+	})
+}
+
+func TestConformanceSSITM(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		cfg := core.DefaultConfig()
+		cfg.Serializable = true
+		return core.New(cfg)
+	})
+}
+
+func TestSerializableSemanticsSSITM(t *testing.T) {
+	tmtest.RunSerializableSuite(t, func() tm.Engine {
+		cfg := core.DefaultConfig()
+		cfg.Serializable = true
+		return core.New(cfg)
+	})
+}
+
+func TestConformanceSITMWordGranularity(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		cfg := core.DefaultConfig()
+		cfg.WordGranularity = true
+		return core.New(cfg)
+	})
+}
+
+func TestConformanceSITMNoCoalescing(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		cfg := core.DefaultConfig()
+		cfg.MVM.Coalesce = false
+		return core.New(cfg)
+	})
+}
+
+func TestConformanceSITMBoundedWindow(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		cfg := core.DefaultConfig()
+		cfg.MaxInflight = 2
+		return core.New(cfg)
+	})
+}

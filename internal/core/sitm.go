@@ -1,0 +1,648 @@
+// Package core implements the paper's primary contribution: SI-TM, a
+// hardware transactional memory based on snapshot isolation (§4), and its
+// serializable extension SSI-TM (§5.2).
+//
+// An SI-TM transaction obtains a unique start timestamp at TM_BEGIN, reads
+// every location from the multiversioned memory snapshot at that timestamp,
+// buffers writes in a private write set, and at TM_COMMIT validates only
+// for write-write conflicts: for each written line, if the newest version
+// in the MVM is younger than the transaction's start timestamp, another
+// overlapping transaction committed a write to the same line and the
+// transaction aborts. Read-write conflicts never abort a transaction, and
+// read-only transactions commit with zero overhead.
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/clock"
+	"repro/internal/mem"
+	"repro/internal/mvm"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// Config selects the SI-TM options evaluated in the paper.
+type Config struct {
+	// MVM configures the multiversioned memory (§3.1 policies).
+	MVM mvm.Config
+	// Cache configures the simulated memory hierarchy (Table 1).
+	Cache cache.Config
+	// WordGranularity enables the §4.2 optimisation: on a line-level
+	// write-write conflict, compare the conflicting words against the
+	// snapshot to dismiss false-sharing and silent-store conflicts.
+	// The paper's evaluation keeps this off ("we perform conflict
+	// detection on a per cache line granularity ... a lower bound").
+	WordGranularity bool
+	// Serializable enables SSI-TM (§5.2): read sets are tracked, rw
+	// antidependencies set per-transaction in/out flags, and a
+	// transaction with both flags (a dangerous structure) aborts.
+	Serializable bool
+	// MaxInflight bounds concurrent commits (the hardware Δ);
+	// 0 = unbounded.
+	MaxInflight int
+	// CommitOverhead is the fixed cycle cost of obtaining an end
+	// timestamp and initiating the commit.
+	CommitOverhead uint64
+}
+
+// DefaultConfig mirrors the evaluated system: 4 versions with
+// abort-on-fifth, coalescing, line-granularity conflicts, Table-1 caches.
+func DefaultConfig() Config {
+	return Config{
+		MVM:            mvm.DefaultConfig(),
+		Cache:          cache.DefaultConfig(),
+		CommitOverhead: 10,
+	}
+}
+
+// Engine is the SI-TM transactional memory.
+type Engine struct {
+	cfg    Config
+	clk    *clock.Clock
+	active *clock.ActiveTable
+	mem    *mvm.Memory
+	shared *cache.Shared
+	hier   map[int]*cache.Hierarchy
+	stats  tm.Stats
+	tracer tm.Tracer
+
+	promoted map[string]bool
+	txnSeq   uint64
+
+	// readers tracks, per line, the active SSI-TM transactions that
+	// read it (visible readers exist only under Serializable; plain
+	// SI-TM supports invisible readers, §4.2).
+	readers map[mem.Line]map[*txn]struct{}
+}
+
+// New creates an SI-TM engine.
+func New(cfg Config) *Engine {
+	clk := clock.New()
+	clk.MaxInflight = cfg.MaxInflight
+	active := clock.NewActiveTable()
+	e := &Engine{
+		cfg:      cfg,
+		clk:      clk,
+		active:   active,
+		mem:      mvm.New(cfg.MVM, clk, active),
+		shared:   cache.NewShared(cfg.Cache),
+		hier:     make(map[int]*cache.Hierarchy),
+		promoted: make(map[string]bool),
+	}
+	if cfg.Serializable {
+		e.readers = make(map[mem.Line]map[*txn]struct{})
+	}
+	return e
+}
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string {
+	if e.cfg.Serializable {
+		return "SSI-TM"
+	}
+	return "SI-TM"
+}
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() *tm.Stats { return &e.stats }
+
+// Promote implements tm.Engine: reads issued under the given site label
+// are inserted into the write set for conflict detection without creating
+// data versions (§5.1).
+func (e *Engine) Promote(site string) { e.promoted[site] = true }
+
+// SetTracer implements tm.Engine.
+func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
+
+// MVM exposes the engine's multiversioned memory for measurement
+// (Table 2 / Appendix A statistics).
+func (e *Engine) MVM() *mvm.Memory { return e.mem }
+
+// Clock exposes the engine's global timestamp clock.
+func (e *Engine) Clock() *clock.Clock { return e.clk }
+
+// hierarchy returns (creating on first use) the private cache hierarchy of
+// logical thread t.
+func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
+	h := e.hier[t.ID()]
+	if h == nil {
+		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
+		e.hier[t.ID()] = h
+	}
+	return h
+}
+
+// CacheStats returns aggregate cache statistics over all cores.
+func (e *Engine) CacheStats() cache.Stats {
+	var s cache.Stats
+	for _, h := range e.hier {
+		s.L1Hits += h.Stats.L1Hits
+		s.L2Hits += h.Stats.L2Hits
+		s.L3Hits += h.Stats.L3Hits
+		s.MemAccesses += h.Stats.MemAccesses
+		s.XlateHits += h.Stats.XlateHits
+		s.XlateMisses += h.Stats.XlateMisses
+	}
+	return s
+}
+
+// NonTxRead implements tm.Engine: non-transactional reads return the most
+// current version (§3).
+func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.mem.NonTxReadWord(a) }
+
+// NonTxWrite implements tm.Engine: non-transactional writes modify the
+// most current version in place (§3).
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.mem.NonTxWriteWord(a, v) }
+
+// writeEntry buffers a transaction's stores to one cache line.
+type writeEntry struct {
+	mask  uint8
+	words [mem.WordsPerLine]uint64
+}
+
+// installRec remembers an optimistic install for rollback.
+type installRec struct {
+	line mem.Line
+	undo mvm.Undo
+}
+
+// txn is one SI-TM transaction attempt.
+type txn struct {
+	e     *Engine
+	t     *sched.Thread
+	h     *cache.Hierarchy
+	id    uint64
+	start clock.Timestamp
+	site  string
+
+	writes     map[mem.Line]*writeEntry
+	writeOrder []mem.Line
+	// promotedLines are reads promoted into conflict detection (§5.1);
+	// they are validated like writes but create no versions.
+	// promotedOrder preserves first-promotion order so commit-time
+	// cycle charging is deterministic.
+	promotedLines map[mem.Line]struct{}
+	promotedOrder []mem.Line
+
+	// SSI-TM state (§5.2). The flags record rw-antidependency edges:
+	// outFlag means this transaction read a line a concurrent
+	// transaction (later) wrote (edge this -> other); inFlag means a
+	// concurrent transaction read a line this transaction wrote (edge
+	// other -> this). A transaction with both — a dangerous structure —
+	// aborts. Read entries persist after commit (like SIREAD locks)
+	// until no overlapping transaction remains, so committed pivots are
+	// still detected.
+	reads   map[mem.Line]struct{}
+	inFlag  bool
+	outFlag bool
+	doomed  bool
+
+	committed bool
+	end       clock.Timestamp // end timestamp once committed
+
+	finished bool
+}
+
+var _ tm.Txn = (*txn)(nil)
+
+// Begin implements tm.Engine. It stalls while any commit is in flight —
+// the software rendering of the paper's starter stall (§4.2) — then takes
+// a unique start timestamp, which creates the logical snapshot.
+func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	for e.clk.MustStall() {
+		e.clk.Stalls++
+		e.stats.Stalls++
+		t.Stall()
+	}
+	e.txnSeq++
+	if e.cfg.Serializable && e.txnSeq%64 == 0 {
+		e.pruneSSI()
+	}
+	tx := &txn{
+		e:      e,
+		t:      t,
+		h:      e.hierarchy(t),
+		id:     e.txnSeq,
+		start:  e.clk.Begin(),
+		writes: make(map[mem.Line]*writeEntry),
+	}
+	e.active.Register(tx.start)
+	if e.cfg.Serializable {
+		tx.reads = make(map[mem.Line]struct{})
+	}
+	if e.tracer != nil {
+		e.tracer.TxnBegin(tx.id, t.ID())
+	}
+	t.Tick(2) // atomic increment of the global timestamp counter
+	return tx
+}
+
+// Site implements tm.Txn.
+func (x *txn) Site(s string) tm.Txn {
+	x.site = s
+	return x
+}
+
+// Read implements tm.Txn: the most current version older than the start
+// timestamp is returned (§4.2, TM READ), unless the transaction itself
+// wrote the word.
+func (x *txn) Read(a mem.Addr) uint64 {
+	if x.e.promoted[x.site] {
+		return x.ReadPromoted(a)
+	}
+	return x.read(a)
+}
+
+func (x *txn) read(a mem.Addr) uint64 {
+	line := mem.LineOf(a)
+	x.t.Tick(x.h.AccessVersioned(line))
+	if x.e.tracer != nil {
+		x.e.tracer.TxnRead(x.id, a, x.site)
+	}
+	if x.e.cfg.Serializable {
+		x.trackRead(line)
+	}
+	if w, ok := x.writes[line]; ok && w.mask&(1<<mem.WordOf(a)) != 0 {
+		return w.words[mem.WordOf(a)]
+	}
+	v, ok := x.e.mem.ReadWord(a, x.start)
+	if !ok {
+		// DropOldest policy discarded the version this snapshot
+		// needs (§3.1): the transaction aborts on the read.
+		x.abortInternal(tm.AbortCapacity, line)
+	}
+	return v
+}
+
+// ReadPromoted implements tm.Txn: the read participates in commit-time
+// conflict detection like a write, but creates no data version (§5.1).
+func (x *txn) ReadPromoted(a mem.Addr) uint64 {
+	if x.promotedLines == nil {
+		x.promotedLines = make(map[mem.Line]struct{})
+	}
+	line := mem.LineOf(a)
+	if _, ok := x.promotedLines[line]; !ok {
+		x.promotedLines[line] = struct{}{}
+		x.promotedOrder = append(x.promotedOrder, line)
+	}
+	return x.read(a)
+}
+
+// Write implements tm.Txn: the store is buffered in the write set and the
+// line marked transactionally written (§4.2, TM WRITE); no coherency
+// traffic is emitted under lazy conflict detection.
+func (x *txn) Write(a mem.Addr, v uint64) {
+	line := mem.LineOf(a)
+	x.t.Tick(x.h.Access(line)) // write into the private cache
+	if x.e.tracer != nil {
+		x.e.tracer.TxnWrite(x.id, a, x.site)
+	}
+	w, ok := x.writes[line]
+	if !ok {
+		w = &writeEntry{}
+		x.writes[line] = w
+		x.writeOrder = append(x.writeOrder, line)
+	}
+	w.mask |= 1 << mem.WordOf(a)
+	w.words[mem.WordOf(a)] = v
+}
+
+// trackRead registers this transaction as a visible reader of line for
+// SSI-TM's rw-antidependency detection. Reading a line that a concurrent
+// transaction has already overwritten records an outgoing edge.
+func (x *txn) trackRead(line mem.Line) {
+	x.checkDoom(line)
+	if _, ok := x.reads[line]; !ok {
+		x.reads[line] = struct{}{}
+		rs := x.e.readers[line]
+		if rs == nil {
+			rs = make(map[*txn]struct{})
+			x.e.readers[line] = rs
+		}
+		rs[x] = struct{}{}
+	}
+	if x.e.mem.NewestTS(line) > x.start {
+		x.outFlag = true
+		if x.inFlag {
+			x.abortInternal(tm.AbortSkew, line)
+		}
+	}
+}
+
+// checkDoom aborts a transaction that a committing writer marked dangerous.
+func (x *txn) checkDoom(line mem.Line) {
+	if x.doomed {
+		x.abortInternal(tm.AbortSkew, line)
+	}
+}
+
+// release drops all engine-side state of the transaction. Aborted
+// transactions leave the readers table immediately; committed SSI-TM
+// transactions keep their read entries (like SIREAD locks) until pruneSSI
+// finds no overlapping transaction.
+func (x *txn) release() {
+	x.finished = true
+	x.e.active.Deregister(x.start)
+	if x.e.cfg.Serializable && !x.committed {
+		x.dropReads()
+	}
+}
+
+func (x *txn) dropReads() {
+	for line := range x.reads {
+		delete(x.e.readers[line], x)
+		if len(x.e.readers[line]) == 0 {
+			delete(x.e.readers, line)
+		}
+	}
+}
+
+// pruneSSI removes committed readers that no active transaction overlaps.
+func (e *Engine) pruneSSI() {
+	oldest, any := e.active.OldestActive()
+	for line, rs := range e.readers {
+		for r := range rs {
+			if r.committed && (!any || r.end <= oldest) {
+				delete(rs, r)
+			}
+		}
+		if len(rs) == 0 {
+			delete(e.readers, line)
+		}
+	}
+}
+
+// abortInternal counts and signals an engine-initiated abort from inside
+// Read/Write; it unwinds to tm.Atomic.
+func (x *txn) abortInternal(kind tm.AbortKind, line mem.Line) {
+	x.release()
+	x.e.stats.Count(kind)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	tm.SignalAbort(kind, line)
+}
+
+// Abort implements tm.Txn: the write set is discarded; nothing was
+// published, so rollback is trivial (§4.3).
+func (x *txn) Abort() {
+	if x.finished {
+		return
+	}
+	x.release()
+	x.e.stats.Count(tm.AbortExplicit)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	x.t.Tick(2)
+}
+
+// Commit implements tm.Txn (§4.2, TM COMMIT). Read-only transactions
+// commit with zero overhead. Writers reserve an end timestamp, then write
+// back each line: a line whose newest version is younger than the start
+// timestamp is a write-write conflict and the transaction rolls back its
+// optimistically created versions and aborts; otherwise a new version
+// tagged with the end timestamp is installed. Validation is purely local —
+// a timestamp comparison against memory state — with no broadcast.
+func (x *txn) Commit() error {
+	if x.finished {
+		panic("core: Commit on finished transaction")
+	}
+	// SSI-TM dangerous-structure checks accumulated during execution.
+	if x.e.cfg.Serializable && (x.doomed || (x.inFlag && x.outFlag)) {
+		return x.commitAbort(0, tm.AbortSkew)
+	}
+	if len(x.writes) == 0 && len(x.promotedLines) == 0 {
+		// Read-only: no end timestamp, no checks (§4.2). Under
+		// SSI-TM the read entries persist so later writers still see
+		// the antidependencies this reader induced.
+		x.committed = true
+		x.end = x.e.clk.Now()
+		x.release()
+		x.e.stats.Commits++
+		x.e.stats.ReadOnly++
+		if x.e.tracer != nil {
+			x.e.tracer.TxnCommit(x.id)
+		}
+		return nil
+	}
+
+	x.t.Tick(x.e.cfg.CommitOverhead)
+	end := x.e.clk.ReserveEnd()
+
+	// Deregister before installing so that version coalescing measures
+	// only *other* transactions' snapshots (Figure 4: TX1's commit
+	// coalesces across TX1's own start timestamp).
+	x.e.active.Deregister(x.start)
+
+	// Validate promoted reads: a newer version of a promoted line
+	// means a concurrent writer committed — the write-skew repair turns
+	// that into an abort (§5.1). This early pass catches committed
+	// conflicts cheaply; because commits of different transactions
+	// interleave in time, the promoted lines are validated again after
+	// the installs below, which guarantees that of two transactions
+	// whose writes invalidate each other's promoted reads, at least the
+	// one that finishes validating last observes the other's versions.
+	for _, line := range x.promotedOrder {
+		if _, mine := x.writes[line]; mine {
+			continue // validated atomically when the write installs
+		}
+		x.t.Tick(x.h.Access(line))
+		if x.e.mem.NewestTS(line) > x.start {
+			return x.commitAbortReserved(end, nil, line, tm.AbortSkew)
+		}
+	}
+
+	var installed []installRec
+	for _, line := range x.writeOrder {
+		w := x.writes[line]
+		x.t.Tick(x.h.Access(line)) // write the line back to the MVM
+		base, ok := x.e.mem.ReadLine(line, x.start)
+		if !ok {
+			return x.commitAbortReserved(end, installed, line, tm.AbortCapacity)
+		}
+		mask := w.mask
+		if x.e.cfg.WordGranularity {
+			// §4.2 optimisation: drop silent stores (words written
+			// back with their snapshot value) from the write mask;
+			// they carry no effect and must not clobber concurrent
+			// writers' words.
+			mask = changedMask(w, &base)
+		}
+		if x.e.mem.NewestTS(line) > x.start {
+			if !x.e.cfg.WordGranularity || x.trueConflict(line, mask, &base) {
+				return x.commitAbortReserved(end, installed, line, tm.AbortWriteWrite)
+			}
+		}
+		if x.e.cfg.WordGranularity {
+			if mask == 0 {
+				continue // fully silent write: nothing to install
+			}
+			// Merge atop the current newest contents so that
+			// dismissed false-sharing conflicts keep the other
+			// transaction's words.
+			base = x.e.mem.NewestLine(line)
+		}
+		undo, err := x.e.mem.Install(line, end, base, mask, &w.words)
+		if err != nil {
+			return x.commitAbortReserved(end, installed, line, tm.AbortCapacity)
+		}
+		installed = append(installed, installRec{line: line, undo: undo})
+	}
+
+	// Revalidate promoted reads now that our versions are installed:
+	// any concurrent commit that finished between the early pass and
+	// here is visible as a newer version (see the comment above). Lines
+	// this transaction itself wrote are excluded — their newest version
+	// is our own install, and the write-write check already validated
+	// them against the snapshot without an intervening yield.
+	for _, line := range x.promotedOrder {
+		if _, mine := x.writes[line]; mine {
+			continue
+		}
+		if x.e.mem.NewestTS(line) > x.start {
+			return x.commitAbortReserved(end, installed, line, tm.AbortSkew)
+		}
+	}
+
+	// SSI-TM: writing lines that concurrent transactions have read
+	// creates rw antidependencies reader->writer; set the flags and
+	// abort any reader that becomes dangerous (§5.2).
+	if x.e.cfg.Serializable {
+		if err := x.ssiWriterCheck(end, installed); err != nil {
+			return err
+		}
+	}
+
+	// Publish: invalidate the committed lines in other cores' private
+	// caches so subsequent transactions fetch the new versions (§4.4).
+	for _, line := range x.writeOrder {
+		for id, h := range x.e.hier {
+			if id != x.t.ID() {
+				h.Invalidate(line)
+			}
+		}
+	}
+	x.finished = true
+	x.committed = true
+	x.end = end
+	x.e.clk.CompleteEnd(end)
+	x.e.stats.Commits++
+	if x.e.tracer != nil {
+		x.e.tracer.TxnCommit(x.id)
+	}
+	x.t.WakeAll() // release starters stalled on the commit window
+	x.t.Tick(2)
+	return nil
+}
+
+// changedMask returns the subset of the write mask whose words actually
+// differ from the transaction's snapshot. Words written back unmodified
+// are silent stores (Lepak/Waliullah): executing or eliding them leaves
+// the transaction's observable effect identical.
+func changedMask(w *writeEntry, snap *[mem.WordsPerLine]uint64) uint8 {
+	var m uint8
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if w.mask&(1<<i) != 0 && w.words[i] != snap[i] {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// trueConflict implements the word-granularity §4.2 optimisation: a
+// line-level conflict is real only when some word this transaction
+// actually modified (mask, already silent-store-filtered) was also
+// modified by the concurrent committer; otherwise the two transactions
+// touched disjoint words of the line (false sharing) and both can keep
+// their effects.
+func (x *txn) trueConflict(line mem.Line, mask uint8, snap *[mem.WordsPerLine]uint64) bool {
+	newest := x.e.mem.NewestLine(line)
+	for i := 0; i < mem.WordsPerLine; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		if newest[i] != snap[i] {
+			return true // both modified word i: a true conflict
+		}
+	}
+	return false
+}
+
+// ssiWriterCheck records rw antidependencies from concurrent visible
+// readers of the lines this transaction is committing (§5.2). An active
+// reader that now has both flags is doomed; a committed concurrent reader
+// that already had an incoming edge is a pivot this transaction cannot
+// serialize around, so this transaction aborts.
+func (x *txn) ssiWriterCheck(end clock.Timestamp, installed []installRec) error {
+	// Flags are applied to every concurrent reader of every written
+	// line before the dangerous-structure verdict, so the outcome does
+	// not depend on map iteration order.
+	abort := false
+	var abortLine mem.Line
+	for _, line := range x.writeOrder {
+		for r := range x.e.readers[line] {
+			if r == x {
+				continue
+			}
+			if r.committed {
+				if r.end <= x.start {
+					continue // serialized before us: no edge
+				}
+				// rw edge r -> x with r committed: if r also
+				// had an incoming edge it is a committed pivot
+				// this transaction cannot serialize around.
+				x.inFlag = true
+				if r.inFlag && !abort {
+					abort, abortLine = true, line
+				}
+				continue
+			}
+			if r.finished {
+				continue // aborted reader
+			}
+			// rw edge r -> x between active transactions.
+			r.outFlag = true
+			if r.inFlag {
+				r.doomed = true
+			}
+			x.inFlag = true
+		}
+	}
+	if abort || (x.inFlag && x.outFlag) {
+		return x.commitAbortReserved(end, installed, abortLine, tm.AbortSkew)
+	}
+	return nil
+}
+
+// commitAbortReserved rolls back optimistic installs, retires the end
+// reservation, and returns the abort error. The transaction iterates over
+// its write set and removes all written lines from the MVM (§4.2).
+func (x *txn) commitAbortReserved(end clock.Timestamp, installed []installRec, line mem.Line, kind tm.AbortKind) error {
+	for i := len(installed) - 1; i >= 0; i-- {
+		x.t.Tick(x.h.Access(installed[i].line))
+		x.e.mem.Revert(installed[i].line, end, installed[i].undo)
+	}
+	x.e.clk.CompleteEnd(end)
+	x.finishAbort(kind)
+	x.t.WakeAll()
+	return &tm.AbortError{Kind: kind, Line: line}
+}
+
+// commitAbort aborts before an end timestamp was reserved.
+func (x *txn) commitAbort(line mem.Line, kind tm.AbortKind) error {
+	x.e.active.Deregister(x.start)
+	x.finishAbort(kind)
+	return &tm.AbortError{Kind: kind, Line: line}
+}
+
+func (x *txn) finishAbort(kind tm.AbortKind) {
+	x.finished = true
+	if x.e.cfg.Serializable {
+		x.dropReads()
+	}
+	x.e.stats.Count(kind)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+}

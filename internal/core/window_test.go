@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// TestBeginStallsDuringCommit verifies the starter-stall rule (§4.2): a
+// transaction beginning while another transaction's commit is in flight
+// waits for the commit window to drain, and the stall is counted.
+func TestBeginStallsDuringCommit(t *testing.T) {
+	e := New(DefaultConfig())
+	s := sched.New(2, 1)
+	committed := false
+	s.Run(func(th *sched.Thread) {
+		if th.ID() == 0 {
+			tx := e.Begin(th)
+			// Large write set: the commit ticks per line, leaving
+			// a window in simulated time for thread 1 to attempt
+			// Begin mid-commit.
+			for i := 0; i < 64; i++ {
+				tx.Write(addr(i+1), uint64(i))
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("commit: %v", err)
+			}
+			committed = true
+			return
+		}
+		// Thread 1 repeatedly begins/commits small transactions until
+		// thread 0's large commit finishes; at least one Begin must
+		// land inside that commit.
+		for !committed {
+			tx := e.Begin(th)
+			_ = tx.Read(addr(100))
+			if err := tx.Commit(); err != nil {
+				t.Errorf("small commit: %v", err)
+			}
+			th.Tick(20)
+		}
+	})
+	if !committed {
+		t.Fatal("large transaction never committed")
+	}
+	if e.Stats().Stalls == 0 {
+		t.Fatal("no starter stalls recorded; the commit window was never exercised")
+	}
+	// Nothing may remain in flight.
+	if e.Clock().InFlight() != 0 {
+		t.Fatal("commit window not drained")
+	}
+}
+
+// TestSnapshotConsistencyAcrossInFlightCommit is the §4.2 race-condition
+// check the Δ reservation exists for: a transaction that begins while a
+// commit of {A, B} is being installed must see either both values or
+// neither — never A new and B old.
+func TestSnapshotConsistencyAcrossInFlightCommit(t *testing.T) {
+	e := New(DefaultConfig())
+	A, B := addr(1), addr(2)
+	torn := false
+	s := sched.New(3, 3)
+	s.Run(func(th *sched.Thread) {
+		switch th.ID() {
+		case 0:
+			for i := uint64(1); i <= 15; i++ {
+				tx := e.Begin(th)
+				tx.Write(A, i)
+				tx.Write(B, i)
+				if err := tx.Commit(); err != nil {
+					t.Errorf("writer: %v", err)
+				}
+				th.Tick(10)
+			}
+		default:
+			for i := 0; i < 25; i++ {
+				tx := e.Begin(th)
+				va := tx.Read(A)
+				th.Tick(30) // widen the window inside the snapshot
+				vb := tx.Read(B)
+				if va != vb {
+					torn = true
+				}
+				if err := tx.Commit(); err != nil {
+					t.Errorf("reader: %v", err)
+				}
+			}
+		}
+	})
+	if torn {
+		t.Fatal("a snapshot observed a half-installed commit")
+	}
+}
+
+// TestMaxInflightBoundsWindow checks the bounded-Δ configuration: with
+// MaxInflight=1, a second committer stalls until the first completes, and
+// everything still commits.
+func TestMaxInflightBoundsWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInflight = 1
+	e := New(cfg)
+	s := sched.New(4, 5)
+	s.Run(func(th *sched.Thread) {
+		for i := 0; i < 10; i++ {
+			_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+				tx.Write(addr(1+th.ID()*16+i), uint64(i))
+				return nil
+			})
+		}
+	})
+	if e.Stats().Commits != 40 {
+		t.Fatalf("commits = %d, want 40", e.Stats().Commits)
+	}
+	if e.Clock().InFlight() != 0 {
+		t.Fatal("window not drained")
+	}
+}
+
+// TestAbortedCommitDrainsWindow checks that a write-write abort retires
+// its end-timestamp reservation so stalled starters wake up.
+func TestAbortedCommitDrainsWindow(t *testing.T) {
+	e := New(DefaultConfig())
+	single(t, e, func(th *sched.Thread) {
+		t1 := e.Begin(th)
+		t2 := e.Begin(th)
+		t1.Write(addr(1), 1)
+		t2.Write(addr(1), 2)
+		if err := t1.Commit(); err != nil {
+			t.Fatalf("t1: %v", err)
+		}
+		if err := t2.Commit(); err == nil {
+			t.Fatal("t2 should conflict")
+		}
+		if e.Clock().InFlight() != 0 {
+			t.Fatal("aborted commit left its reservation in flight")
+		}
+		// New transactions proceed normally.
+		t3 := e.Begin(th)
+		t3.Write(addr(1), 3)
+		if err := t3.Commit(); err != nil {
+			t.Fatalf("t3: %v", err)
+		}
+	})
+	if e.NonTxRead(addr(1)) != 3 {
+		t.Fatalf("value = %d, want 3", e.NonTxRead(addr(1)))
+	}
+}
+
+// TestCacheStatsAccumulate sanity-checks the per-engine cache statistics
+// plumbing used by the cost model.
+func TestCacheStatsAccumulate(t *testing.T) {
+	e := New(DefaultConfig())
+	single(t, e, func(th *sched.Thread) {
+		tx := e.Begin(th)
+		for i := 0; i < 32; i++ {
+			_ = tx.Read(addr(i + 1))
+		}
+		for i := 0; i < 32; i++ {
+			_ = tx.Read(addr(i + 1)) // warm hits
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	cs := e.CacheStats()
+	if cs.MemAccesses == 0 {
+		t.Fatal("no memory accesses recorded")
+	}
+	if cs.L1Hits == 0 {
+		t.Fatal("no L1 hits recorded for the warm pass")
+	}
+	if cs.XlateHits+cs.XlateMisses == 0 {
+		t.Fatal("translation cache never consulted")
+	}
+}

@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CSV export of the figure data, so the series can be re-plotted against
+// the paper's charts with any plotting tool.
+
+// WriteFigure7CSV renders Figure 7 data (from Figure7) as CSV rows:
+// benchmark,threads,engine,aborts_relative_to_2pl.
+func WriteFigure7CSV(w io.Writer, data map[string]map[int][3]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "threads", "engine", "aborts_rel_2pl"}); err != nil {
+		return fmt.Errorf("harness: write csv header: %w", err)
+	}
+	engines := []string{"2PL", "SONTM", "SI-TM"}
+	for _, name := range sortedKeys(data) {
+		rows := data[name]
+		var threads []int
+		for th := range rows {
+			threads = append(threads, th)
+		}
+		sort.Ints(threads)
+		for _, th := range threads {
+			for ei, e := range engines {
+				rec := []string{name, strconv.Itoa(th), e, formatFloat(rows[th][ei])}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("harness: write csv row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure8CSV renders Figure 8 data (from Figure8) as CSV rows:
+// benchmark,threads,engine,speedup.
+func WriteFigure8CSV(w io.Writer, data map[string]map[string][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "threads", "engine", "speedup"}); err != nil {
+		return fmt.Errorf("harness: write csv header: %w", err)
+	}
+	for _, name := range sortedKeys(data) {
+		series := data[name]
+		for _, engine := range sortedKeys(series) {
+			for i, sp := range series[engine] {
+				if i >= len(Fig8Threads) {
+					break
+				}
+				rec := []string{name, strconv.Itoa(Fig8Threads[i]), engine, formatFloat(sp)}
+				if err := cw.Write(rec); err != nil {
+					return fmt.Errorf("harness: write csv row: %w", err)
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable2CSV renders Table 2 data (from Table2) as CSV rows:
+// benchmark,depth,accesses.
+func WriteTable2CSV(w io.Writer, data map[string][6]uint64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"benchmark", "depth", "accesses"}); err != nil {
+		return fmt.Errorf("harness: write csv header: %w", err)
+	}
+	depths := []string{"1st", "2nd", "3rd", "4th", "5th", "tail"}
+	for _, name := range sortedKeys(data) {
+		row := data[name]
+		for d, label := range depths {
+			rec := []string{name, label, strconv.FormatUint(row[d], 10)}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("harness: write csv row: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

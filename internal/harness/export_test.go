@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteFigure7CSV(t *testing.T) {
+	data := map[string]map[int][3]float64{
+		"List": {8: {1, 0.5, 0.03}, 32: {1, 0.53, 0.08}},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure7CSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 thread counts x 3 engines
+	if len(rows) != 1+6 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	if strings.Join(rows[0], ",") != "benchmark,threads,engine,aborts_rel_2pl" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][0] != "List" || rows[1][1] != "8" || rows[1][2] != "2PL" || rows[1][3] != "1" {
+		t.Fatalf("first row = %v", rows[1])
+	}
+}
+
+func TestWriteFigure8CSV(t *testing.T) {
+	data := map[string]map[string][]float64{
+		"Array": {
+			"2PL":   {1, 2, 3, 4, 5, 5.1},
+			"SI-TM": {1, 2.1, 4.5, 8.4, 15.6, 28.6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteFigure8CSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+2*len(Fig8Threads) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Engines are sorted: 2PL before SI-TM.
+	if rows[1][2] != "2PL" || rows[1+len(Fig8Threads)][2] != "SI-TM" {
+		t.Fatalf("engine ordering wrong: %v", rows)
+	}
+	last := rows[len(rows)-1]
+	if last[1] != "32" || last[3] != "28.6" {
+		t.Fatalf("last row = %v", last)
+	}
+}
+
+func TestWriteTable2CSV(t *testing.T) {
+	data := map[string][6]uint64{
+		"Vacation": {767104, 6198, 4, 0, 0, 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, data); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+6 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	if rows[1][1] != "1st" || rows[1][2] != "767104" {
+		t.Fatalf("first data row = %v", rows[1])
+	}
+	if rows[6][1] != "tail" {
+		t.Fatalf("tail row = %v", rows[6])
+	}
+}

@@ -1,0 +1,258 @@
+// Package harness runs the paper's evaluation (§6): it sweeps workloads ×
+// TM engines × thread counts on the deterministic machine simulator,
+// averages runs over seeds, and renders the text equivalents of Figure 1
+// (read-write vs write-write abort breakdown under 2PL), Figure 7 (abort
+// rates relative to 2PL), Figure 8 (application speedup) and Table 2 /
+// Appendix A (accesses per MVM version depth).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/micro"
+	"repro/internal/mvm"
+	"repro/internal/sched"
+	"repro/internal/sontm"
+	"repro/internal/stamp"
+	"repro/internal/tm"
+	"repro/internal/twopl"
+	"repro/internal/txlib"
+)
+
+// Workload is the surface the microbenchmarks and STAMP kernels expose;
+// they satisfy it structurally.
+type Workload interface {
+	Name() string
+	Setup(m *txlib.Mem, threads int)
+	Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig)
+	Validate(m *txlib.Mem) string
+}
+
+// Scalable is implemented by workloads whose input sizes can be grown
+// toward the paper's scale (Options.Scale).
+type Scalable interface {
+	Scale(factor int)
+}
+
+// EngineKind selects a TM implementation.
+type EngineKind int
+
+const (
+	// TwoPL is the eager requester-wins baseline (§6.1).
+	TwoPL EngineKind = iota
+	// SONTM is the conflict-serializable baseline (§6.1).
+	SONTM
+	// SITM is the paper's snapshot-isolation TM (§4).
+	SITM
+	// SSITM is serializable SI-TM (§5.2).
+	SSITM
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case TwoPL:
+		return "2PL"
+	case SONTM:
+		return "SONTM"
+	case SITM:
+		return "SI-TM"
+	case SSITM:
+		return "SSI-TM"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// Options tunes a run.
+type Options struct {
+	// Seeds to average over; the paper averages 5 runs with different
+	// random seeds. Defaults to {1, 2, 3}.
+	Seeds []uint64
+	// NoBackoff replaces the tuned exponential backoff with a minimal
+	// constant (jittered, non-growing) delay — the §6.4 ablation
+	// ("without exponential backoff 2PL and CS show even higher abort
+	// rates"). A literal zero delay would let the eager engines
+	// livelock forever under the deterministic scheduler, which is the
+	// very pathology the paper's tuning avoids.
+	NoBackoff bool
+	// UnboundedVersions configures SI-TM's MVM with no version bound
+	// (the Table 2 / Appendix A measurement).
+	UnboundedVersions bool
+	// WordGranularity enables SI-TM's §4.2 word-level conflict filter.
+	WordGranularity bool
+	// NoCoalescing disables version coalescing (ablation).
+	NoCoalescing bool
+	// DropOldest selects the alternative version-overflow policy.
+	DropOldest bool
+	// NoXlate disables the translation cache (ablation).
+	NoXlate bool
+	// Scale multiplies workload input sizes (1 = the fast defaults;
+	// larger values approach the paper's configurations at the cost of
+	// wall-clock time).
+	Scale int
+}
+
+// DefaultOptions returns the evaluation defaults.
+func DefaultOptions() Options { return Options{Seeds: []uint64{1, 2, 3}} }
+
+// Result aggregates one workload × engine × thread-count cell, averaged
+// over seeds.
+type Result struct {
+	Engine   string
+	Workload string
+	Threads  int
+
+	Commits     float64
+	Aborts      float64
+	RWAborts    float64
+	WWAborts    float64
+	OtherAborts float64
+	AbortRate   float64 // aborts / (commits+aborts)
+	Makespan    float64 // simulated cycles
+	Throughput  float64 // commits per 1000 simulated cycles
+	MVM         mvm.Stats
+	ValidateMsg string
+}
+
+// newEngine builds a fresh engine of the given kind per run.
+func newEngine(kind EngineKind, o Options) tm.Engine {
+	switch kind {
+	case TwoPL:
+		return twopl.New(twopl.DefaultConfig())
+	case SONTM:
+		return sontm.New(sontm.DefaultConfig())
+	case SITM, SSITM:
+		cfg := core.DefaultConfig()
+		cfg.Serializable = kind == SSITM
+		cfg.WordGranularity = o.WordGranularity
+		if o.UnboundedVersions {
+			cfg.MVM.Policy = mvm.Unbounded
+		}
+		if o.DropOldest {
+			cfg.MVM.Policy = mvm.DropOldest
+		}
+		if o.NoCoalescing {
+			cfg.MVM.Coalesce = false
+		}
+		if o.NoXlate {
+			cfg.Cache.XlateEntries = 0
+		}
+		return core.New(cfg)
+	}
+	panic("harness: unknown engine kind")
+}
+
+// backoffFor returns the retry policy. Every engine's software retry loop
+// uses the tuned exponential backoff (the RSTM retry loops the paper
+// builds on back off unconditionally); the paper additionally notes the
+// two eager mechanisms *depend* on it to avoid livelock (§6.4) — the
+// NoBackoff ablation shows that dependence.
+func backoffFor(kind EngineKind, o Options) tm.BackoffConfig {
+	if o.NoBackoff {
+		return tm.BackoffConfig{Enabled: true, Base: 32, MaxShift: 0}
+	}
+	_ = kind
+	return tm.DefaultBackoff()
+}
+
+// Run executes workload (built fresh per seed by factory) on an engine of
+// the given kind with the given thread count and returns seed-averaged
+// results.
+func Run(kind EngineKind, factory func() Workload, threads int, o Options) Result {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	var agg Result
+	agg.Threads = threads
+	agg.Engine = kind.String()
+	for _, seed := range o.Seeds {
+		w := factory()
+		if s, ok := w.(Scalable); ok && o.Scale > 1 {
+			s.Scale(o.Scale)
+		}
+		agg.Workload = w.Name()
+		e := newEngine(kind, o)
+		m := txlib.NewMem(e)
+		w.Setup(m, threads)
+		bo := backoffFor(kind, o)
+		s := sched.New(threads, seed)
+		s.Run(func(th *sched.Thread) { w.Run(m, th, bo) })
+
+		st := e.Stats()
+		agg.Commits += float64(st.Commits)
+		agg.Aborts += float64(st.TotalAborts())
+		agg.RWAborts += float64(st.Aborts[tm.AbortReadWrite])
+		agg.WWAborts += float64(st.Aborts[tm.AbortWriteWrite])
+		agg.OtherAborts += float64(st.Aborts[tm.AbortOrder] + st.Aborts[tm.AbortCapacity] + st.Aborts[tm.AbortSkew])
+		agg.Makespan += float64(s.Makespan())
+		if msg := w.Validate(m); msg != "" && agg.ValidateMsg == "" {
+			agg.ValidateMsg = msg
+		}
+		if si, ok := e.(*core.Engine); ok {
+			ms := si.MVM().Stats()
+			agg.MVM.AccessTail += ms.AccessTail
+			for i := range ms.AccessDepth {
+				agg.MVM.AccessDepth[i] += ms.AccessDepth[i]
+			}
+			agg.MVM.Coalesced += ms.Coalesced
+			agg.MVM.Installs += ms.Installs
+			agg.MVM.GCReclaimed += ms.GCReclaimed
+			if ms.PeakVersions > agg.MVM.PeakVersions {
+				agg.MVM.PeakVersions = ms.PeakVersions
+			}
+		}
+	}
+	n := float64(len(o.Seeds))
+	agg.Commits /= n
+	agg.Aborts /= n
+	agg.RWAborts /= n
+	agg.WWAborts /= n
+	agg.OtherAborts /= n
+	agg.Makespan /= n
+	if agg.Commits+agg.Aborts > 0 {
+		agg.AbortRate = agg.Aborts / (agg.Commits + agg.Aborts)
+	}
+	if agg.Makespan > 0 {
+		agg.Throughput = agg.Commits / agg.Makespan * 1000
+	}
+	return agg
+}
+
+// Registry returns the workload factories in the paper's presentation
+// order: the three microbenchmarks followed by the seven STAMP kernels.
+func Registry() []func() Workload {
+	return []func() Workload{
+		func() Workload { return micro.NewArray() },
+		func() Workload { return micro.NewList() },
+		func() Workload { return micro.NewRBTree() },
+		func() Workload { return stamp.NewGenome() },
+		func() Workload { return stamp.NewIntruder() },
+		func() Workload { return stamp.NewKmeans() },
+		func() Workload { return stamp.NewLabyrinth() },
+		func() Workload { return stamp.NewVacation() },
+		func() Workload { return stamp.NewSSCA2() },
+		func() Workload { return stamp.NewBayes() },
+	}
+}
+
+// byName returns the registry entry for name (case-insensitive), or nil.
+func byName(name string) func() Workload {
+	for _, f := range Registry() {
+		if strings.EqualFold(f().Name(), name) {
+			return f
+		}
+	}
+	return nil
+}
+
+// Workloads lists the registered workload names.
+func Workloads() []string {
+	var names []string
+	for _, f := range Registry() {
+		names = append(names, f().Name())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,196 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/micro"
+)
+
+func quickOpts() Options { return Options{Seeds: []uint64{1}} }
+
+func TestRunProducesConsistentStats(t *testing.T) {
+	r := Run(SITM, func() Workload { return micro.NewList() }, 4, quickOpts())
+	if r.Workload != "List" || r.Engine != "SI-TM" || r.Threads != 4 {
+		t.Fatalf("metadata wrong: %+v", r)
+	}
+	if r.Commits != 4*60 {
+		t.Fatalf("commits = %v, want 240 (workload-determined)", r.Commits)
+	}
+	if r.AbortRate < 0 || r.AbortRate > 1 {
+		t.Fatalf("abort rate out of range: %v", r.AbortRate)
+	}
+	if r.Makespan <= 0 || r.Throughput <= 0 {
+		t.Fatalf("timing not measured: %+v", r)
+	}
+	if r.ValidateMsg != "" {
+		t.Fatalf("validation failed: %s", r.ValidateMsg)
+	}
+}
+
+func TestRunSeedAveragingIsDeterministic(t *testing.T) {
+	o := Options{Seeds: []uint64{1, 2}}
+	a := Run(TwoPL, func() Workload { return micro.NewRBTree() }, 4, o)
+	b := Run(TwoPL, func() Workload { return micro.NewRBTree() }, 4, o)
+	if a.Aborts != b.Aborts || a.Makespan != b.Makespan {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestEngineKindsConstructAndName(t *testing.T) {
+	names := map[EngineKind]string{TwoPL: "2PL", SONTM: "SONTM", SITM: "SI-TM", SSITM: "SSI-TM"}
+	for kind, want := range names {
+		e := newEngine(kind, quickOpts())
+		if e.Name() != want {
+			t.Errorf("%v engine name = %q, want %q", kind, e.Name(), want)
+		}
+		if kind.String() != want {
+			t.Errorf("kind string = %q, want %q", kind.String(), want)
+		}
+	}
+}
+
+func TestRegistryNamesUniqueAndComplete(t *testing.T) {
+	want := []string{"Array", "Bayes", "Genome", "Intruder", "Kmeans", "Labyrinth", "List", "RBTree", "SSCA2", "Vacation"}
+	got := Workloads()
+	if len(got) != len(want) {
+		t.Fatalf("workloads = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("workloads = %v, want %v", got, want)
+		}
+	}
+	if byName("vacation") == nil || byName("VACATION") == nil {
+		t.Fatal("byName must be case-insensitive")
+	}
+	if byName("nosuch") != nil {
+		t.Fatal("byName must reject unknown names")
+	}
+}
+
+func TestSITMBeatsTwoPLOnList(t *testing.T) {
+	// The paper's core result at harness level: SI-TM aborts a small
+	// fraction of what 2PL aborts on the read-heavy List benchmark.
+	o := quickOpts()
+	f := func() Workload { return micro.NewList() }
+	base := Run(TwoPL, f, 8, o)
+	si := Run(SITM, f, 8, o)
+	if si.Aborts >= base.Aborts/2 {
+		t.Fatalf("SI-TM aborts %v vs 2PL %v: expected a large reduction", si.Aborts, base.Aborts)
+	}
+	if si.Makespan >= base.Makespan {
+		t.Fatalf("SI-TM makespan %v vs 2PL %v: expected faster", si.Makespan, base.Makespan)
+	}
+}
+
+func TestReadOnlyNeverAbortsUnderSITM(t *testing.T) {
+	// "Read-only transactions are guaranteed to commit" (§4): the Array
+	// long readers never abort under SI-TM.
+	r := Run(SITM, func() Workload {
+		a := micro.NewArray()
+		a.LongRatioPct = 100 // read-only transactions exclusively
+		return a
+	}, 8, quickOpts())
+	if r.Aborts != 0 {
+		t.Fatalf("read-only workload aborted %v times under SI-TM", r.Aborts)
+	}
+}
+
+func TestFigure1Output(t *testing.T) {
+	var buf bytes.Buffer
+	results := Figure1(&buf, 4, quickOpts())
+	if len(results) != len(Fig1Workloads) {
+		t.Fatalf("results for %d workloads, want %d", len(results), len(Fig1Workloads))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "Genome") {
+		t.Fatalf("table rendering wrong:\n%s", out)
+	}
+	// The paper's headline: read-write aborts dominate under 2PL.
+	var rw, total float64
+	for _, r := range results {
+		rw += r.RWAborts
+		total += r.RWAborts + r.WWAborts
+	}
+	if total == 0 || rw/total < 0.5 {
+		t.Fatalf("read-write abort share = %.2f, expected the RW-dominated regime", rw/total)
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	var buf bytes.Buffer
+	Table1(&buf)
+	for _, want := range []string{"32", "L1D", "Memory latency"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestTable2UnboundedVersions(t *testing.T) {
+	var buf bytes.Buffer
+	rows := Table2(&buf, 8, quickOpts())
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	// Most accesses must hit the most recent version.
+	var first, total uint64
+	for _, row := range rows {
+		first += row[0]
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total == 0 || float64(first)/float64(total) < 0.8 {
+		t.Fatalf("first-version share = %d/%d, expected dominance", first, total)
+	}
+}
+
+func TestBackoffAblationShowsEagerDependence(t *testing.T) {
+	// §6.4: without exponential backoff the eager mechanisms abort more.
+	f := func() Workload { return micro.NewList() }
+	with := Run(TwoPL, f, 8, quickOpts())
+	o := quickOpts()
+	o.NoBackoff = true
+	without := Run(TwoPL, f, 8, o)
+	if without.Aborts <= with.Aborts {
+		t.Fatalf("no-backoff aborts %v <= backoff aborts %v", without.Aborts, with.Aborts)
+	}
+}
+
+func TestOptionsPropagate(t *testing.T) {
+	o := quickOpts()
+	o.UnboundedVersions = true
+	r := Run(SITM, func() Workload { return micro.NewList() }, 4, o)
+	// With unbounded versions there can be no capacity aborts.
+	if r.OtherAborts != 0 && r.MVM.DroppedOld != 0 {
+		t.Fatalf("unbounded run recorded capacity effects: %+v", r)
+	}
+	if DefaultOptions().Seeds == nil {
+		t.Fatal("default options must carry seeds")
+	}
+}
+
+func TestMVMReport(t *testing.T) {
+	var buf bytes.Buffer
+	rows := MVMReport(&buf, 4, quickOpts())
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	for _, r := range rows {
+		if r.Installs == 0 && r.Workload != "Labyrinth" {
+			t.Errorf("%s recorded no installs", r.Workload)
+		}
+		if r.PeakVersions > 4 {
+			t.Errorf("%s peak versions %d exceeds the 4-version bound", r.Workload, r.PeakVersions)
+		}
+		if r.OverheadPct < 0 || r.OverheadPct > 50.01 {
+			t.Errorf("%s overhead %.1f%% outside the paper's 12.5-50%% band", r.Workload, r.OverheadPct)
+		}
+	}
+	if !strings.Contains(buf.String(), "coalesced") {
+		t.Fatal("table rendering missing")
+	}
+}

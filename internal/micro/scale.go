@@ -1,0 +1,36 @@
+package micro
+
+// Scale implementations grow the workloads toward the paper's input
+// sizes (§6.2): a factor of 15 restores Array's 30 K entries, a factor
+// of 8 restores List's 1000 elements; RBTree's 100 elements already match
+// the paper and only the transaction count grows.
+
+// Scale implements harness.Scalable.
+func (a *Array) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	a.Entries *= factor
+	a.TxnsPerThread *= factor
+	// Long reads grow with Entries; keep update frequency in the same
+	// ratio so version pressure stays in the paper's regime.
+	a.UpdateThinkCycles *= uint64(factor)
+}
+
+// Scale implements harness.Scalable.
+func (l *List) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	l.InitSize *= factor
+	l.KeyRange *= factor
+	l.TxnsPerThread *= factor
+}
+
+// Scale implements harness.Scalable.
+func (t *RBTree) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	t.TxnsPerThread *= factor
+}

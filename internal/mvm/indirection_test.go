@@ -1,0 +1,128 @@
+package mvm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestCheckpointReadsFrozenState(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	a := mem.WordAddr(1, 0)
+	e.m.NonTxWriteWord(a, 10)
+	cp := e.m.Checkpoint()
+
+	s := e.clk.Begin()
+	e.active.Register(s)
+	e.active.Deregister(s)
+	if err := e.commit(mem.Line(1), s, 1, [8]uint64{20}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := cp.ReadWord(a); got != 10 {
+		t.Fatalf("checkpoint reads %d, want 10", got)
+	}
+	if got := e.m.NonTxReadWord(a); got != 20 {
+		t.Fatalf("live state reads %d, want 20", got)
+	}
+	cp.Release()
+}
+
+func TestCheckpointRollbackRestores(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	a := mem.WordAddr(1, 0)
+	b := mem.WordAddr(2, 0)
+	e.m.NonTxWriteWord(a, 1)
+	cp := e.m.Checkpoint()
+
+	// Commit changes to line 1 and create line 2 after the checkpoint.
+	s := e.clk.Begin()
+	e.active.Register(s)
+	e.active.Deregister(s)
+	if err := e.commit(mem.Line(1), s, 1, [8]uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := e.clk.Begin()
+	e.active.Register(s2)
+	e.active.Deregister(s2)
+	if err := e.commit(mem.Line(2), s2, 1, [8]uint64{3}); err != nil {
+		t.Fatal(err)
+	}
+
+	cp.Rollback()
+	if got := e.m.NonTxReadWord(a); got != 1 {
+		t.Fatalf("after rollback a = %d, want 1", got)
+	}
+	if got := e.m.NonTxReadWord(b); got != 0 {
+		t.Fatalf("after rollback b = %d, want 0 (line uncreated)", got)
+	}
+}
+
+func TestCheckpointPinsAgainstGC(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: true})
+	a := mem.WordAddr(1, 0)
+	e.m.NonTxWriteWord(a, 5)
+	cp := e.m.Checkpoint()
+	// Many commits afterwards; without the pin they would coalesce/GC
+	// the checkpointed version away.
+	for i := 0; i < 10; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		e.active.Deregister(s)
+		if err := e.commit(mem.Line(1), s, 1, [8]uint64{uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cp.ReadWord(a); got != 5 {
+		t.Fatalf("checkpoint reads %d, want 5", got)
+	}
+	cp.Release()
+}
+
+func TestRollbackPanicsWithInflightCommits(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	cp := e.m.Checkpoint()
+	end := e.clk.ReserveEnd()
+	defer func() {
+		e.clk.CompleteEnd(end)
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	cp.Rollback()
+}
+
+func TestMeasureDedup(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	// Three lines: two with identical contents, one all-zero (written
+	// then zeroed in place).
+	e.m.NonTxWriteWord(mem.WordAddr(1, 0), 7)
+	e.m.NonTxWriteWord(mem.WordAddr(2, 0), 7)
+	e.m.NonTxWriteWord(mem.WordAddr(3, 0), 9)
+	e.m.NonTxWriteWord(mem.WordAddr(3, 0), 0)
+
+	d := e.m.MeasureDedup()
+	if d.Lines != 3 {
+		t.Fatalf("lines = %d, want 3", d.Lines)
+	}
+	if d.ZeroLines != 1 {
+		t.Fatalf("zero lines = %d, want 1", d.ZeroLines)
+	}
+	if d.DupLines != 2 {
+		t.Fatalf("dup lines = %d, want 2", d.DupLines)
+	}
+	if d.UniqueData != 2 {
+		t.Fatalf("unique = %d, want 2", d.UniqueData)
+	}
+	want := 100 * float64(1) / 3
+	if got := d.SharablePct(); got < want-0.01 || got > want+0.01 {
+		t.Fatalf("sharable = %.2f%%, want %.2f%%", got, want)
+	}
+}
+
+func TestMeasureDedupEmpty(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	if got := e.m.MeasureDedup().SharablePct(); got != 0 {
+		t.Fatalf("empty memory sharable = %v, want 0", got)
+	}
+}

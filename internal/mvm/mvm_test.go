@@ -1,0 +1,374 @@
+package mvm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clock"
+	"repro/internal/mem"
+)
+
+// env bundles a memory with its clock and active table the way an engine
+// wires them.
+type env struct {
+	clk    *clock.Clock
+	active *clock.ActiveTable
+	m      *Memory
+}
+
+func newEnv(cfg Config) *env {
+	clk := clock.New()
+	active := clock.NewActiveTable()
+	return &env{clk: clk, active: active, m: New(cfg, clk, active)}
+}
+
+// commit installs words into line at a fresh end timestamp, simulating a
+// committed writer with the given start timestamp.
+func (e *env) commit(l mem.Line, start clock.Timestamp, mask uint8, vals [mem.WordsPerLine]uint64) error {
+	end := e.clk.ReserveEnd()
+	base, _ := e.m.ReadLine(l, start)
+	_, err := e.m.Install(l, end, base, mask, &vals)
+	e.clk.CompleteEnd(end)
+	return err
+}
+
+func TestZeroFillBeforeFirstWrite(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	v, ok := e.m.ReadWord(1234, 99)
+	if !ok || v != 0 {
+		t.Fatalf("unwritten word = %d,%v want 0,true", v, ok)
+	}
+}
+
+func TestSnapshotVisibility(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	l := mem.Line(1)
+	a := mem.WordAddr(l, 0)
+
+	s0 := e.clk.Begin()
+	e.active.Register(s0)
+	if err := e.commit(l, s0, 1, [8]uint64{10}); err != nil {
+		t.Fatal(err)
+	}
+	tsAfterFirst := e.clk.Now()
+	s1 := e.clk.Begin()
+	e.active.Register(s1)
+	if err := e.commit(l, s1, 1, [8]uint64{20}); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, _ := e.m.ReadWord(a, s0); v != 0 {
+		t.Fatalf("snapshot s0 sees %d, want 0", v)
+	}
+	if v, _ := e.m.ReadWord(a, tsAfterFirst); v != 10 {
+		t.Fatalf("snapshot after first commit sees %d, want 10", v)
+	}
+	if v, _ := e.m.ReadWord(a, e.clk.Now()); v != 20 {
+		t.Fatalf("latest snapshot sees %d, want 20", v)
+	}
+}
+
+func TestNewestTSForConflictDetection(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	l := mem.Line(2)
+	if e.m.NewestTS(l) != 0 {
+		t.Fatal("unwritten line must have newest ts 0")
+	}
+	start := e.clk.Begin()
+	e.active.Register(start)
+	if err := e.commit(l, start, 1, [8]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if e.m.NewestTS(l) <= start {
+		t.Fatal("committed version must be newer than the writer's start")
+	}
+}
+
+// TestFigure4Coalescing reproduces the paper's Figure 4: five transactions
+// write the same address; because no transaction starts between the commit
+// points of TX0/TX1 and TX3/TX4, their versions coalesce and the version
+// list holds two entries instead of four.
+func TestFigure4Coalescing(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: true})
+	l := mem.Line(7)
+
+	commitTx := func(val uint64) clock.Timestamp {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		// ... transaction body would run here ...
+		e.active.Deregister(s) // committer leaves the table first
+		end := e.clk.ReserveEnd()
+		base, _ := e.m.ReadLine(l, s)
+		if _, err := e.m.Install(l, end, base, 1, &[8]uint64{val}); err != nil {
+			t.Fatal(err)
+		}
+		e.clk.CompleteEnd(end)
+		return end
+	}
+
+	commitTx(100)       // TX0: commit; no reader between -> baseline version
+	e1 := commitTx(101) // TX1: coalesces with TX0's version
+	// TX2 starts and stays active (the long-running transaction).
+	s2 := e.clk.Begin()
+	e.active.Register(s2)
+	commitTx(102)       // TX3: cannot coalesce across TX2's start
+	e4 := commitTx(103) // TX4: coalesces with TX3's version
+
+	got := e.m.VersionTimestamps(l)
+	if len(got) != 2 {
+		t.Fatalf("version list has %d entries %v, want 2 (coalesced)", len(got), got)
+	}
+	if got[0] != e1 || got[1] != e4 {
+		t.Fatalf("version timestamps %v, want [%d %d]", got, e1, e4)
+	}
+	// TX2's snapshot still reads TX1's value.
+	if v, _ := e.m.ReadWord(mem.WordAddr(l, 0), s2); v != 101 {
+		t.Fatalf("TX2 snapshot reads %d, want 101", v)
+	}
+	if e.m.Stats().Coalesced != 2 {
+		t.Fatalf("coalesced = %d, want 2", e.m.Stats().Coalesced)
+	}
+	e.active.Deregister(s2)
+}
+
+func TestAbortFifthPolicy(t *testing.T) {
+	e := newEnv(Config{MaxVersions: 4, Policy: AbortFifth, Coalesce: false})
+	l := mem.Line(3)
+	// A pinned old reader keeps versions alive.
+	pin := e.clk.Begin()
+	e.active.Register(pin)
+	var err error
+	for i := 0; i < 4; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		err = e.commit(l, s, 1, [8]uint64{uint64(i)})
+		e.active.Deregister(s)
+		if err != nil {
+			t.Fatalf("install %d failed early: %v", i, err)
+		}
+		// Keep a reader between each pair of versions so GC and
+		// coalescing cannot reclaim them.
+		r := e.clk.Begin()
+		e.active.Register(r)
+	}
+	s := e.clk.Begin()
+	e.active.Register(s)
+	if err = e.commit(l, s, 1, [8]uint64{99}); err != ErrCapacity {
+		t.Fatalf("fifth version: err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestDropOldestPolicy(t *testing.T) {
+	e := newEnv(Config{MaxVersions: 2, Policy: DropOldest, Coalesce: false})
+	l := mem.Line(4)
+	a := mem.WordAddr(l, 0)
+	old := e.clk.Begin()
+	e.active.Register(old)
+	var readers []clock.Timestamp
+	for i := 0; i < 3; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		if err := e.commit(l, s, 1, [8]uint64{uint64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		e.active.Deregister(s)
+		r := e.clk.Begin()
+		e.active.Register(r)
+		readers = append(readers, r)
+	}
+	// The snapshot from before any write can no longer be served.
+	if _, ok := e.m.ReadWord(a, old); ok {
+		t.Fatal("stale snapshot should fail after DropOldest")
+	}
+	if e.m.Stats().StaleReads != 1 {
+		t.Fatalf("stale reads = %d, want 1", e.m.Stats().StaleReads)
+	}
+	// The newest snapshots still work.
+	if v, ok := e.m.ReadWord(a, readers[2]); !ok || v != 3 {
+		t.Fatalf("fresh snapshot = %d,%v want 3,true", v, ok)
+	}
+}
+
+func TestGCReclaimsUnreachableVersions(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	l := mem.Line(5)
+	// Five commits with no concurrent readers: each install GC-collapses
+	// the history down to the previous version (which stays reachable
+	// while the install is revocable) plus the new one.
+	for i := 0; i < 5; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		e.active.Deregister(s)
+		if err := e.commit(l, s, 1, [8]uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.m.VersionCount(l); n > 2 {
+		t.Fatalf("versions = %d, want <= 2 after GC", n)
+	}
+	if e.m.Stats().GCReclaimed < 3 {
+		t.Fatalf("GC reclaimed %d versions, want >= 3", e.m.Stats().GCReclaimed)
+	}
+}
+
+func TestGCKeepsVersionsForOldestActive(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	l := mem.Line(6)
+	a := mem.WordAddr(l, 0)
+	s1 := e.clk.Begin()
+	e.active.Register(s1)
+	if err := e.commit(l, s1, 1, [8]uint64{11}); err != nil {
+		t.Fatal(err)
+	}
+	reader := e.clk.Begin()
+	e.active.Register(reader) // pins version 11
+	s2 := e.clk.Begin()
+	e.active.Register(s2)
+	e.active.Deregister(s1)
+	e.active.Deregister(s2)
+	s3 := e.clk.Begin()
+	e.active.Register(s3)
+	if err := e.commit(l, s3, 1, [8]uint64{22}); err == nil {
+		// s3 conflicts? No: newest (11) is older than s3 — fine.
+	} else {
+		t.Fatal(err)
+	}
+	if v, ok := e.m.ReadWord(a, reader); !ok || v != 11 {
+		t.Fatalf("pinned snapshot reads %d,%v want 11,true", v, ok)
+	}
+}
+
+func TestRevertCreatedVersion(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	l := mem.Line(8)
+	a := mem.WordAddr(l, 0)
+	s := e.clk.Begin()
+	e.active.Register(s)
+	if err := e.commit(l, s, 1, [8]uint64{7}); err != nil {
+		t.Fatal(err)
+	}
+	// A second writer installs then reverts (write-write conflict on
+	// another line of its write set).
+	end := e.clk.ReserveEnd()
+	base, _ := e.m.ReadLine(l, e.clk.Now()-1)
+	undo, err := e.m.Install(l, end, base, 1, &[8]uint64{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.m.Revert(l, end, undo)
+	e.clk.CompleteEnd(end)
+	if v := e.m.NonTxReadWord(a); v != 7 {
+		t.Fatalf("after revert word = %d, want 7", v)
+	}
+}
+
+func TestRevertCoalescedVersionRestoresPrevious(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: true})
+	l := mem.Line(9)
+	a := mem.WordAddr(l, 0)
+	s := e.clk.Begin()
+	e.active.Register(s)
+	e.active.Deregister(s)
+	end1 := e.clk.ReserveEnd()
+	if _, err := e.m.Install(l, end1, [8]uint64{}, 1, &[8]uint64{100}); err != nil {
+		t.Fatal(err)
+	}
+	e.clk.CompleteEnd(end1)
+
+	// No active snapshots: the next install coalesces, then reverts.
+	end2 := e.clk.ReserveEnd()
+	base, _ := e.m.ReadLine(l, end1)
+	undo, err := e.m.Install(l, end2, base, 1, &[8]uint64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !undo.Coalesced {
+		t.Fatal("expected a coalesced install")
+	}
+	e.m.Revert(l, end2, undo)
+	e.clk.CompleteEnd(end2)
+	if v := e.m.NonTxReadWord(a); v != 100 {
+		t.Fatalf("after revert word = %d, want 100 (previous version)", v)
+	}
+	if ts := e.m.VersionTimestamps(l); len(ts) != 1 || ts[0] != end1 {
+		t.Fatalf("version list %v, want [%d]", ts, end1)
+	}
+}
+
+func TestNonTxAccess(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	e.m.NonTxWriteWord(100, 5)
+	if v := e.m.NonTxReadWord(100); v != 5 {
+		t.Fatalf("non-tx read = %d, want 5", v)
+	}
+	// In-place: no extra version created.
+	e.m.NonTxWriteWord(100, 6)
+	if n := e.m.VersionCount(mem.LineOf(100)); n != 1 {
+		t.Fatalf("versions = %d, want 1", n)
+	}
+	// Initial data is visible to every snapshot.
+	if v, ok := e.m.ReadWord(100, 0); !ok || v != 6 {
+		t.Fatalf("snapshot 0 reads %d,%v want 6,true", v, ok)
+	}
+}
+
+func TestAccessDepthHistogram(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	l := mem.Line(10)
+	a := mem.WordAddr(l, 0)
+	var snaps []clock.Timestamp
+	for i := 0; i < 3; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		if err := e.commit(l, s, 1, [8]uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r := e.clk.Begin()
+		e.active.Register(r)
+		snaps = append(snaps, r)
+	}
+	e.m.ResetStats()
+	e.m.ReadWord(a, snaps[2]) // newest -> depth 1
+	e.m.ReadWord(a, snaps[1]) // second -> depth 2
+	e.m.ReadWord(a, snaps[0]) // third  -> depth 3
+	st := e.m.Stats()
+	if st.AccessDepth[0] != 1 || st.AccessDepth[1] != 1 || st.AccessDepth[2] != 1 {
+		t.Fatalf("histogram = %v", st.AccessDepth)
+	}
+}
+
+func TestInstallWordMergeProperty(t *testing.T) {
+	// Property: installed line = base overlaid with masked words.
+	f := func(baseArr [8]uint64, vals [8]uint64, mask uint8) bool {
+		e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+		l := mem.Line(1)
+		end := e.clk.ReserveEnd()
+		if _, err := e.m.Install(l, end, baseArr, mask, &vals); err != nil {
+			return false
+		}
+		e.clk.CompleteEnd(end)
+		got := e.m.NewestLine(l)
+		for w := 0; w < 8; w++ {
+			want := baseArr[w]
+			if mask&(1<<w) != 0 {
+				want = vals[w]
+			}
+			if got[w] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundedPolicyRequiresMaxVersions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newEnv(Config{Policy: AbortFifth, MaxVersions: 0})
+}

@@ -1,0 +1,77 @@
+package mvm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestOverheadAccounting(t *testing.T) {
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	// Pin snapshots so versions survive, then create 4 versions on one
+	// line and 1 version on another.
+	for i := 0; i < 4; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		if err := e.commit(mem.Line(1), s, 1, [8]uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r := e.clk.Begin()
+		e.active.Register(r)
+	}
+	s := e.clk.Begin()
+	e.active.Register(s)
+	if err := e.commit(mem.Line(2), s, 1, [8]uint64{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	o := e.m.MeasureOverheads(1)
+	if o.LinesAllocated != 2 {
+		t.Fatalf("lines = %d, want 2", o.LinesAllocated)
+	}
+	if o.VersionsLive != 5 {
+		t.Fatalf("versions = %d, want 5", o.VersionsLive)
+	}
+	if o.IndirectionBytes != 2*32 {
+		t.Fatalf("indirection bytes = %d, want 64", o.IndirectionBytes)
+	}
+	// 64 bytes of indirection over 5*64 bytes of data = 20%.
+	if o.OverheadPct < 19.9 || o.OverheadPct > 20.1 {
+		t.Fatalf("overhead = %.2f%%, want 20%%", o.OverheadPct)
+	}
+}
+
+func TestOverheadWorstCaseMatchesPaper(t *testing.T) {
+	e := newEnv(DefaultConfig())
+	// §3.2: single active line -> 50% worst case; bundling 8 lines
+	// reduces it by 8x to 6.25%.
+	o := e.m.MeasureOverheads(1)
+	if o.BundledWorstPct != 50 {
+		t.Fatalf("unbundled worst case = %.2f%%, want 50%%", o.BundledWorstPct)
+	}
+	o = e.m.MeasureOverheads(8)
+	if o.BundledWorstPct != 6.25 {
+		t.Fatalf("bundle-8 worst case = %.2f%%, want 6.25%%", o.BundledWorstPct)
+	}
+}
+
+func TestOverheadFullOccupancyMatchesPaper(t *testing.T) {
+	// §3.2: four versions per address -> 2*32/512 = 12.5%.
+	e := newEnv(Config{Policy: Unbounded, Coalesce: false})
+	for i := 0; i < 4; i++ {
+		s := e.clk.Begin()
+		e.active.Register(s)
+		if err := e.commit(mem.Line(1), s, 1, [8]uint64{uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r := e.clk.Begin()
+		e.active.Register(r)
+	}
+	o := e.m.MeasureOverheads(1)
+	if o.VersionsLive != 4 {
+		t.Fatalf("versions = %d, want 4", o.VersionsLive)
+	}
+	if o.OverheadPct != 12.5 {
+		t.Fatalf("overhead = %.2f%%, want 12.5%%", o.OverheadPct)
+	}
+}

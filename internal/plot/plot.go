@@ -1,0 +1,198 @@
+// Package plot renders simple ASCII line charts for the figure data, so
+// sitm-bench can show the speedup curves and abort-rate series directly in
+// the terminal alongside the tables.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Points []float64 // y values, one per x position
+}
+
+// Chart is an ASCII line chart over shared x positions.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string // labels for the x positions
+	Series []Series
+
+	// Height is the plot area height in rows (default 12).
+	Height int
+	// Width is the plot area width in columns (default: spread ticks
+	// evenly with at least 6 columns per tick).
+	Width int
+	// LogY selects a logarithmic y axis (useful for abort ratios).
+	LogY bool
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes the chart.
+func (c *Chart) Render(w io.Writer) error {
+	height := c.Height
+	if height <= 0 {
+		height = 12
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 6 * len(c.XTicks)
+		if width < 24 {
+			width = 24
+		}
+	}
+
+	ymin, ymax := c.bounds()
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+
+	toRow := func(y float64) int {
+		t := (c.scale(y) - c.scale(ymin)) / (c.scale(ymax) - c.scale(ymin))
+		row := int(math.Round(float64(height-1) * (1 - t)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	toCol := func(i, n int) int {
+		if n <= 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		prevRow, prevCol := -1, -1
+		for i, y := range s.Points {
+			if i >= len(c.XTicks) {
+				break
+			}
+			row, col := toRow(y), toCol(i, len(c.XTicks))
+			grid[row][col] = mark
+			// Sparse linear interpolation between points.
+			if prevCol >= 0 {
+				steps := col - prevCol
+				for s := 1; s < steps; s++ {
+					ir := prevRow + (row-prevRow)*s/steps
+					ic := prevCol + s
+					if grid[ir][ic] == ' ' {
+						grid[ir][ic] = '.'
+					}
+				}
+			}
+			prevRow, prevCol = row, col
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	axisWidth := 9
+	for i, row := range grid {
+		label := strings.Repeat(" ", axisWidth)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.4g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%8.4g ", ymin)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.4g ", c.unscale((c.scale(ymin)+c.scale(ymax))/2))
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", axisWidth), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	// X tick labels (a little wider than the plot so the final label
+	// is not truncated at the edge).
+	tickRow := []byte(strings.Repeat(" ", width+8))
+	for i, t := range c.XTicks {
+		col := toCol(i, len(c.XTicks))
+		for j := 0; j < len(t) && col+j < len(tickRow); j++ {
+			tickRow[col+j] = t[j]
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s   (%s)\n", strings.Repeat(" ", axisWidth), string(tickRow), c.XLabel); err != nil {
+		return err
+	}
+	// Legend.
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%s legend: %s%s\n", strings.Repeat(" ", axisWidth), strings.Join(legend, "  "), c.yLabelSuffix())
+	return err
+}
+
+func (c *Chart) yLabelSuffix() string {
+	if c.YLabel == "" {
+		return ""
+	}
+	return "  y: " + c.YLabel
+}
+
+// scale maps y into the plotting domain (log or linear).
+func (c *Chart) scale(y float64) float64 {
+	if c.LogY {
+		if y <= 0 {
+			y = 1e-6
+		}
+		return math.Log10(y)
+	}
+	return y
+}
+
+// unscale inverts scale.
+func (c *Chart) unscale(v float64) float64 {
+	if c.LogY {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+// bounds finds the y range over all series.
+func (c *Chart) bounds() (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i, y := range s.Points {
+			if i >= len(c.XTicks) {
+				break
+			}
+			if c.LogY && y <= 0 {
+				y = 1e-6
+			}
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		lo, hi = 0, 1
+	}
+	return lo, hi
+}

@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:  "speedup",
+		XLabel: "threads",
+		YLabel: "x over 1 thread",
+		XTicks: []string{"1", "2", "4", "8", "16", "32"},
+		Series: []Series{
+			{Name: "SI-TM", Points: []float64{1, 2, 4.5, 8.4, 15.7, 28.6}},
+			{Name: "2PL", Points: []float64{1, 1.7, 3.3, 4.0, 5.2, 5.1}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"speedup", "SI-TM", "2PL", "threads", "32", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The top axis label must be the max value of any series.
+	if !strings.Contains(out, "28.6") {
+		t.Fatalf("y max label missing:\n%s", out)
+	}
+	// Both series markers appear.
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("series markers missing:\n%s", out)
+	}
+}
+
+func TestRenderMarksHighSeriesAboveLow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Find the rows containing the final '*' (SI-TM @32) and final 'o'
+	// (2PL @32); the SI-TM row must be strictly higher (smaller index).
+	starRow, oRow := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "*") && starRow == -1 {
+			starRow = i
+		}
+	}
+	for i, l := range lines {
+		if strings.Contains(l, "o") && !strings.Contains(l, "o ") || strings.Contains(l, " o") {
+			oRow = i
+			break
+		}
+	}
+	if starRow == -1 || oRow == -1 {
+		t.Fatalf("markers not found:\n%s", buf.String())
+	}
+	if starRow >= oRow {
+		t.Fatalf("fastest series not plotted above: star@%d o@%d\n%s", starRow, oRow, buf.String())
+	}
+}
+
+func TestRenderLogScale(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"8", "16", "32"},
+		LogY:   true,
+		Series: []Series{
+			{Name: "rel", Points: []float64{1, 0.1, 0.001}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.001") {
+		t.Fatalf("log min label missing:\n%s", buf.String())
+	}
+}
+
+func TestRenderHandlesFlatAndEmpty(t *testing.T) {
+	flat := &Chart{XTicks: []string{"1", "2"}, Series: []Series{{Name: "f", Points: []float64{3, 3}}}}
+	var buf bytes.Buffer
+	if err := flat.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	empty := &Chart{XTicks: nil, Series: nil}
+	buf.Reset()
+	if err := empty.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderZeroWithLogScale(t *testing.T) {
+	c := &Chart{
+		XTicks: []string{"a", "b"},
+		LogY:   true,
+		Series: []Series{{Name: "z", Points: []float64{0, 1}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckFigure1(t *testing.T) {
+	fs := CheckFigure1(map[string]float64{"List": 1.0, "Kmeans": 0.5})
+	if fs.AllOK() {
+		t.Fatal("0.5 rw share must fail the 75% bar")
+	}
+	var listOK, kmeansOK bool
+	for _, f := range fs {
+		if strings.Contains(f.Check, "List") {
+			listOK = f.OK
+		}
+		if strings.Contains(f.Check, "Kmeans") {
+			kmeansOK = f.OK
+		}
+	}
+	if !listOK || kmeansOK {
+		t.Fatalf("unexpected verdicts: %s", fs)
+	}
+}
+
+func TestCheckFigure7Shapes(t *testing.T) {
+	good := map[string]map[int][3]float64{
+		"Array":    {32: {1, 0.8, 0.001}},
+		"Vacation": {32: {1, 0.3, 0.04}},
+		"List":     {32: {1, 0.5, 0.08}},
+		"Kmeans":   {32: {1, 0.8, 0.7}},
+	}
+	if fs := CheckFigure7(good); !fs.AllOK() {
+		t.Fatalf("good data failed:\n%s", fs)
+	}
+	bad := map[string]map[int][3]float64{
+		"Array": {32: {1, 0.8, 1.5}}, // SI worse than 2PL
+	}
+	if fs := CheckFigure7(bad); fs.AllOK() {
+		t.Fatal("bad data passed")
+	}
+}
+
+func TestCheckFigure8Shapes(t *testing.T) {
+	threads := []int{1, 2, 4, 8, 16, 32}
+	good := map[string]map[string][]float64{
+		"Array":     {"SI-TM": {1, 2, 4, 8, 16, 28}, "2PL": {1, 2, 3, 4, 5, 5}, "SONTM": {1, 2, 3, 4, 6, 8}},
+		"List":      {"SI-TM": {1, 2, 4, 6, 9, 13}, "2PL": {1, 2, 2, 2, 2, 2}, "SONTM": {1, 2, 3, 3, 3, 3}},
+		"Vacation":  {"SI-TM": {1, 2, 5, 11, 22, 40}, "2PL": {1, 2, 5, 7, 8, 10}, "SONTM": {1, 2, 5, 11, 22, 39}},
+		"Intruder":  {"SI-TM": {1, 2, 4, 6, 6, 7}, "2PL": {1, 1, 1, 1, 1, 1}, "SONTM": {1, 1, 1, 1, 2, 2}},
+		"Kmeans":    {"SI-TM": {1, 2, 2, 3, 3, 3}, "2PL": {1, 2, 2, 2, 2, 2}, "SONTM": {1, 2, 2, 3, 3, 4}},
+		"Labyrinth": {"SI-TM": {1, 2, 6, 15, 34, 76}, "2PL": {1, 2, 6, 15, 27, 51}, "SONTM": {1, 3, 7, 17, 43, 96}},
+	}
+	if fs := CheckFigure8(good, threads); !fs.AllOK() {
+		t.Fatalf("good data failed:\n%s", fs)
+	}
+	bad := map[string]map[string][]float64{
+		"Array": {"SI-TM": {1, 1, 1, 1, 1, 2}, "2PL": {1, 2, 3, 4, 5, 5}, "SONTM": {1, 1, 1, 1, 1, 1}},
+	}
+	if fs := CheckFigure8(bad, threads); fs.AllOK() {
+		t.Fatal("bad data passed")
+	}
+}
+
+func TestCheckTable2(t *testing.T) {
+	good := map[string][6]uint64{"List": {1000, 50, 5, 1, 0, 0}}
+	if fs := CheckTable2(good); !fs.AllOK() {
+		t.Fatalf("good data failed:\n%s", fs)
+	}
+	bad := map[string][6]uint64{"List": {100, 5, 5, 1, 50, 20}}
+	if fs := CheckTable2(bad); fs.AllOK() {
+		t.Fatal("deep-access-heavy data passed the <1% bar")
+	}
+}
+
+func TestFindingStrings(t *testing.T) {
+	fs := Findings{{Check: "x", OK: true, Detail: "d"}, {Check: "y", OK: false, Detail: "e"}}
+	s := fs.String()
+	if !strings.Contains(s, "[ok  ]") || !strings.Contains(s, "[FAIL]") {
+		t.Fatalf("rendering: %s", s)
+	}
+	if fs.AllOK() {
+		t.Fatal("AllOK wrong")
+	}
+}

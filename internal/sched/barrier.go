@@ -1,0 +1,38 @@
+package sched
+
+// Barrier is a deterministic spin barrier for logical threads, used by
+// phased workloads (the STAMP kernels separate their phases with
+// barriers). Waiting threads burn simulated cycles polling, exactly like
+// a hardware spin barrier, so barrier imbalance shows up in the makespan.
+type Barrier struct {
+	n       int
+	arrived int
+	gen     uint64
+	// SpinCycles is the poll interval charged per check (default 5).
+	SpinCycles uint64
+}
+
+// NewBarrier creates a barrier for n threads.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("sched: barrier size must be positive")
+	}
+	return &Barrier{n: n, SpinCycles: 5}
+}
+
+// Wait blocks (spinning in simulated time) until n threads have arrived.
+// The barrier is reusable: generation counting separates successive
+// phases.
+func (b *Barrier) Wait(t *Thread) {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		t.Tick(b.SpinCycles)
+		return
+	}
+	for b.gen == gen {
+		t.Tick(b.SpinCycles)
+	}
+}

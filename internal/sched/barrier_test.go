@@ -1,0 +1,72 @@
+package sched
+
+import "testing"
+
+func TestBarrierSynchronises(t *testing.T) {
+	s := New(4, 1)
+	b := NewBarrier(4)
+	phase := make([]int, 4)
+	var order []int
+	s.Run(func(th *Thread) {
+		// Unequal pre-barrier work: thread i ticks i*100 cycles.
+		th.Tick(uint64(th.ID()) * 100)
+		phase[th.ID()] = 1
+		b.Wait(th)
+		// After the barrier every thread must observe all phases = 1.
+		for i, p := range phase {
+			if p != 1 {
+				t.Errorf("thread %d passed barrier before thread %d arrived", th.ID(), i)
+			}
+		}
+		order = append(order, th.ID())
+	})
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	s := New(3, 2)
+	b := NewBarrier(3)
+	counts := make([]int, 3)
+	s.Run(func(th *Thread) {
+		for phase := 0; phase < 5; phase++ {
+			counts[th.ID()]++
+			b.Wait(th)
+			// After my wait returns, every thread has arrived at my
+			// phase; a fast thread may already be one phase ahead,
+			// but never behind and never two ahead.
+			mine := counts[th.ID()]
+			for i := range counts {
+				if counts[i] < mine || counts[i] > mine+1 {
+					t.Errorf("phase skew beyond one: %v", counts)
+				}
+			}
+		}
+	})
+}
+
+func TestBarrierChargesSpinCycles(t *testing.T) {
+	s := New(2, 3)
+	b := NewBarrier(2)
+	s.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			th.Tick(1000) // arrive late
+		}
+		b.Wait(th)
+	})
+	// The early thread must have spun up to roughly the late thread's
+	// arrival time.
+	if c := s.Thread(1).Cycles(); c < 1000 {
+		t.Fatalf("early thread cycles = %d, want >= 1000 (spun at barrier)", c)
+	}
+}
+
+func TestBarrierBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBarrier(0)
+}

@@ -1,0 +1,186 @@
+// Package sched implements a deterministic discrete-event machine simulator.
+//
+// It stands in for the ZSim cycle-accurate simulator used by the SI-TM paper
+// (Litz et al., ASPLOS 2014). The simulator models N logical hardware
+// threads, each with a monotonically increasing cycle counter. A conductor
+// goroutine always resumes the runnable thread with the lowest cycle count
+// (ties broken by thread ID), so operation streams from different threads
+// interleave in simulated time exactly as they would in an event-driven
+// architectural simulator. Given the same seed and workload, a simulation is
+// fully deterministic.
+//
+// Exactly one logical thread executes at any instant; the channel handoffs
+// between conductor and threads establish happens-before edges, so shared
+// engine state needs no additional locking and the race detector stays
+// quiet.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Thread is one logical hardware thread of the simulated machine. All
+// simulated work — transactional memory operations, local computation,
+// backoff — is charged to its cycle counter via Tick.
+type Thread struct {
+	id     int
+	sim    *Sim
+	cycles uint64
+	rng    *Rand
+
+	resume  chan struct{}
+	done    bool
+	stalled bool
+}
+
+// ID returns the thread's index in [0, NumThreads).
+func (t *Thread) ID() int { return t.id }
+
+// Cycles returns the simulated cycles consumed by the thread so far.
+func (t *Thread) Cycles() uint64 { return t.cycles }
+
+// Rand returns the thread's deterministic random number generator.
+func (t *Thread) Rand() *Rand { return t.rng }
+
+// Tick charges c simulated cycles to the thread and yields to the
+// conductor, which may switch to another thread whose cycle counter is now
+// lower. Every modelled operation must Tick at least once so that the
+// interleaving reflects simulated time.
+func (t *Thread) Tick(c uint64) {
+	t.cycles += c
+	t.sim.yield <- t
+	<-t.resume
+}
+
+// WakeAll unparks every stalled thread of the machine, advancing their
+// clocks to this thread's clock (see Sim.WakeAll).
+func (t *Thread) WakeAll() { t.sim.WakeAll(t) }
+
+// Stall parks the thread until another thread calls Sim.WakeAll. It models
+// a hardware stall (e.g. a transaction waiting for the commit window). The
+// thread's clock is advanced to the waker's clock on wakeup so stalled time
+// is accounted for.
+func (t *Thread) Stall() {
+	t.stalled = true
+	t.sim.yield <- t
+	<-t.resume
+}
+
+// Sim is the machine: a set of logical threads and the conductor that
+// interleaves them deterministically in simulated time.
+type Sim struct {
+	threads []*Thread
+	yield   chan *Thread
+	seed    uint64
+}
+
+// New creates a machine with n logical threads. The seed makes every
+// per-thread RNG, and therefore the whole simulation, deterministic.
+func New(n int, seed uint64) *Sim {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: invalid thread count %d", n))
+	}
+	s := &Sim{yield: make(chan *Thread)}
+	s.seed = seed
+	for i := 0; i < n; i++ {
+		s.threads = append(s.threads, &Thread{
+			id:     i,
+			sim:    s,
+			rng:    NewRand(seed*0x9E3779B97F4A7C15 + uint64(i+1)),
+			resume: make(chan struct{}),
+		})
+	}
+	return s
+}
+
+// NumThreads returns the number of logical threads.
+func (s *Sim) NumThreads() int { return len(s.threads) }
+
+// Thread returns logical thread i.
+func (s *Sim) Thread(i int) *Thread { return s.threads[i] }
+
+// Makespan returns the simulated completion time of the machine: the
+// maximum cycle counter across threads. Call after Run.
+func (s *Sim) Makespan() uint64 {
+	var m uint64
+	for _, t := range s.threads {
+		if t.cycles > m {
+			m = t.cycles
+		}
+	}
+	return m
+}
+
+// TotalCycles returns the sum of all per-thread cycle counters.
+func (s *Sim) TotalCycles() uint64 {
+	var m uint64
+	for _, t := range s.threads {
+		m += t.cycles
+	}
+	return m
+}
+
+// WakeAll unparks every stalled thread, advancing their clocks to the
+// caller's clock so that waiting time is charged.
+func (s *Sim) WakeAll(waker *Thread) {
+	for _, t := range s.threads {
+		if t.stalled {
+			t.stalled = false
+			if t.cycles < waker.cycles {
+				t.cycles = waker.cycles
+			}
+		}
+	}
+}
+
+// Run executes body(thread) on every logical thread and interleaves them
+// lowest-cycle-first until all bodies return. It panics on total deadlock
+// (every live thread stalled), which indicates an engine bug.
+func (s *Sim) Run(body func(*Thread)) {
+	live := len(s.threads)
+	for _, t := range s.threads {
+		t.done = false
+		go func(t *Thread) {
+			defer func() {
+				t.done = true
+				s.yield <- t
+			}()
+			<-t.resume
+			body(t)
+		}(t)
+	}
+
+	runnable := make([]*Thread, len(s.threads))
+	copy(runnable, s.threads)
+	for live > 0 {
+		// Pick the runnable (not stalled, not done) thread with the
+		// lowest cycle count; ties break by ID for determinism.
+		var next *Thread
+		for _, t := range runnable {
+			if t.done || t.stalled {
+				continue
+			}
+			if next == nil || t.cycles < next.cycles || (t.cycles == next.cycles && t.id < next.id) {
+				next = t
+			}
+		}
+		if next == nil {
+			panic("sched: deadlock — all live threads stalled")
+		}
+		next.resume <- struct{}{}
+		y := <-s.yield
+		if y.done {
+			live--
+			// Compact the runnable list occasionally; cheap at our scale.
+			n := runnable[:0]
+			for _, t := range runnable {
+				if !t.done {
+					n = append(n, t)
+				}
+			}
+			runnable = n
+			sort.Slice(runnable, func(i, j int) bool { return runnable[i].id < runnable[j].id })
+		}
+	}
+}

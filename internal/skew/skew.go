@@ -1,0 +1,313 @@
+// Package skew implements the paper's write-skew detection and prevention
+// methodology (§5.1) in the simulated world: where the paper instruments
+// binaries with PIN, engines here emit a globally ordered trace of
+// TM_BEGIN / TM_READ / TM_WRITE / TM_COMMIT events tagged with source
+// "sites". The trace is post-processed into a read-write dependency graph
+// whose cycles are write-skew candidates; the offending read sites are
+// reported and can be promoted automatically (reads inserted into the
+// write set for conflict detection without creating data versions).
+//
+// Like the paper's tool, this is a best-effort dynamic analysis: it can
+// only find skews exercised by the traced schedules, and dangerous-
+// situation detection may report false positives.
+package skew
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Recorder captures the globally ordered transactional event stream. It
+// implements tm.Tracer; install it with engine.SetTracer.
+type Recorder struct {
+	seq  uint64
+	txns map[uint64]*txnTrace
+	done []*txnTrace
+}
+
+// access is one read or write with its source site.
+type access struct {
+	line mem.Line
+	site string
+	seq  uint64
+}
+
+// txnTrace is the recorded life of one transaction attempt.
+type txnTrace struct {
+	id        uint64
+	thread    int
+	beginSeq  uint64
+	commitSeq uint64
+	committed bool
+	reads     []access
+	writes    []access
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{txns: make(map[uint64]*txnTrace)}
+}
+
+// TxnBegin implements tm.Tracer.
+func (r *Recorder) TxnBegin(txn uint64, thread int) {
+	r.seq++
+	r.txns[txn] = &txnTrace{id: txn, thread: thread, beginSeq: r.seq}
+}
+
+// TxnRead implements tm.Tracer.
+func (r *Recorder) TxnRead(txn uint64, a mem.Addr, site string) {
+	r.seq++
+	if t := r.txns[txn]; t != nil {
+		t.reads = append(t.reads, access{line: mem.LineOf(a), site: site, seq: r.seq})
+	}
+}
+
+// TxnWrite implements tm.Tracer.
+func (r *Recorder) TxnWrite(txn uint64, a mem.Addr, site string) {
+	r.seq++
+	if t := r.txns[txn]; t != nil {
+		t.writes = append(t.writes, access{line: mem.LineOf(a), site: site, seq: r.seq})
+	}
+}
+
+// TxnCommit implements tm.Tracer.
+func (r *Recorder) TxnCommit(txn uint64) {
+	r.seq++
+	if t := r.txns[txn]; t != nil {
+		t.commitSeq = r.seq
+		t.committed = true
+		r.done = append(r.done, t)
+		delete(r.txns, txn)
+	}
+}
+
+// TxnAbort implements tm.Tracer.
+func (r *Recorder) TxnAbort(txn uint64) {
+	r.seq++
+	delete(r.txns, txn) // aborted attempts cannot participate in a skew
+}
+
+// Events returns the number of trace events recorded.
+func (r *Recorder) Events() uint64 { return r.seq }
+
+// Committed returns the number of committed transactions in the trace.
+func (r *Recorder) Committed() int { return len(r.done) }
+
+// Cycle is one write-skew candidate: a cycle of read-write
+// antidependencies between concurrent committed transactions.
+type Cycle struct {
+	// Txns are the transaction ids on the cycle, in cycle order.
+	Txns []uint64
+	// Sites are the source sites of the reads participating in the
+	// cycle's antidependency edges — where read promotion must apply.
+	Sites []string
+}
+
+// Report is the outcome of analysing a trace.
+type Report struct {
+	// Cycles are the detected write-skew candidates.
+	Cycles []Cycle
+	// Sites is the deduplicated, sorted union of all offending read
+	// sites.
+	Sites []string
+	// Txns and Edges describe the analysed graph size.
+	Txns, Edges int
+}
+
+// HasSkew reports whether any write-skew candidate was found.
+func (rep *Report) HasSkew() bool { return len(rep.Cycles) > 0 }
+
+// String renders the report like the tool's output.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "analysed %d committed transactions, %d rw-dependency edges\n", rep.Txns, rep.Edges)
+	if !rep.HasSkew() {
+		b.WriteString("no write skew detected\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%d write-skew candidate cycle(s) detected\n", len(rep.Cycles))
+	for i, c := range rep.Cycles {
+		fmt.Fprintf(&b, "  cycle %d: transactions %v via sites %v\n", i+1, c.Txns, c.Sites)
+	}
+	fmt.Fprintf(&b, "reads to promote: %s\n", strings.Join(rep.Sites, ", "))
+	return b.String()
+}
+
+// edge is a rw antidependency reader -> writer with the reader's site.
+type edge struct {
+	to   int
+	site string
+}
+
+// Analyze post-processes the trace (the paper defers the heavy work to a
+// post-processing phase to minimise perturbation, §5.1): it builds the
+// read-write dependency graph over concurrent committed transactions and
+// reports every cycle as a write-skew candidate.
+func (r *Recorder) Analyze() *Report {
+	txns := r.done
+	n := len(txns)
+	rep := &Report{Txns: n}
+
+	// writersOf maps a line to the transactions that committed writes
+	// to it.
+	writersOf := make(map[mem.Line][]int)
+	for i, t := range txns {
+		seen := make(map[mem.Line]bool)
+		for _, w := range t.writes {
+			if !seen[w.line] {
+				seen[w.line] = true
+				writersOf[w.line] = append(writersOf[w.line], i)
+			}
+		}
+	}
+
+	// Build rw antidependency edges reader -> writer between concurrent
+	// transactions: the reader read a line the writer overwrote, and
+	// neither saw the other's effects.
+	adj := make([][]edge, n)
+	for i, t := range txns {
+		seenEdge := make(map[int]bool)
+		for _, rd := range t.reads {
+			for _, j := range writersOf[rd.line] {
+				if i == j || seenEdge[j] {
+					continue
+				}
+				u := txns[j]
+				if !concurrent(t, u) {
+					continue
+				}
+				adj[i] = append(adj[i], edge{to: j, site: rd.site})
+				seenEdge[j] = true
+				rep.Edges++
+			}
+		}
+	}
+
+	// Every strongly connected component with more than one node
+	// contains a dependency cycle — the necessary condition for write
+	// skew (§5.1, after Cahill et al.).
+	for _, comp := range tarjanSCC(adj) {
+		if len(comp) < 2 {
+			continue
+		}
+		inComp := make(map[int]bool, len(comp))
+		for _, v := range comp {
+			inComp[v] = true
+		}
+		c := Cycle{}
+		siteSet := map[string]bool{}
+		for _, v := range comp {
+			c.Txns = append(c.Txns, txns[v].id)
+			for _, e := range adj[v] {
+				if inComp[e.to] && e.site != "" {
+					siteSet[e.site] = true
+				}
+			}
+		}
+		sort.Slice(c.Txns, func(a, b int) bool { return c.Txns[a] < c.Txns[b] })
+		for s := range siteSet {
+			c.Sites = append(c.Sites, s)
+		}
+		sort.Strings(c.Sites)
+		rep.Cycles = append(rep.Cycles, c)
+	}
+
+	all := map[string]bool{}
+	for _, c := range rep.Cycles {
+		for _, s := range c.Sites {
+			all[s] = true
+		}
+	}
+	for s := range all {
+		rep.Sites = append(rep.Sites, s)
+	}
+	sort.Strings(rep.Sites)
+	return rep
+}
+
+// concurrent reports whether two committed transactions overlapped: each
+// began before the other committed.
+func concurrent(a, b *txnTrace) bool {
+	return a.beginSeq < b.commitSeq && b.beginSeq < a.commitSeq
+}
+
+// Promote applies the tool's automatic repair: every offending read site
+// is promoted on the engine, so subsequent runs treat those reads as
+// writes for conflict detection without creating data versions (§5.1).
+func (rep *Report) Promote(e tm.Engine) {
+	for _, s := range rep.Sites {
+		e.Promote(s)
+	}
+}
+
+// tarjanSCC returns the strongly connected components of adj (iterative
+// Tarjan, safe for deep graphs).
+func tarjanSCC(adj [][]edge) [][]int {
+	n := len(adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, comps = []int{}, [][]int{}
+	next := 1
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei].to
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop component if root of SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

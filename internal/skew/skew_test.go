@@ -1,0 +1,320 @@
+package skew
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// runSI executes body on n threads with a fresh SI-TM engine and an
+// attached recorder.
+func runSI(n int, seed uint64, body func(m *txlib.Mem, th *sched.Thread)) (*Recorder, *txlib.Mem) {
+	e := core.New(core.DefaultConfig())
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	sched.New(n, seed).Run(func(th *sched.Thread) { body(m, th) })
+	return rec, m
+}
+
+// TestListing1WriteSkew reproduces the paper's Listing 1: two concurrent
+// withdrawals on disjoint accounts slip past SI; the tool must find the
+// cycle and name the withdraw sites.
+func TestListing1WriteSkew(t *testing.T) {
+	e := core.New(core.DefaultConfig())
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	checking := m.A.AllocLines(1)
+	saving := m.A.AllocLines(1)
+	e.NonTxWrite(checking, 60)
+	e.NonTxWrite(saving, 60)
+
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		t1 := e.Begin(th)
+		t2 := e.Begin(th)
+		withdraw := func(tx tm.Txn, fromChecking bool) {
+			tx.Site("bank.check")
+			if tx.Read(checking)+tx.Read(saving) > 100 {
+				tx.Site("bank.withdraw")
+				if fromChecking {
+					tx.Write(checking, tx.Read(checking)-100)
+				} else {
+					tx.Write(saving, tx.Read(saving)-100)
+				}
+			}
+		}
+		withdraw(t1, true)
+		withdraw(t2, false)
+		if err := t1.Commit(); err != nil {
+			t.Fatalf("t1: %v", err)
+		}
+		if err := t2.Commit(); err != nil {
+			t.Fatalf("t2: %v", err)
+		}
+	})
+
+	rep := rec.Analyze()
+	if !rep.HasSkew() {
+		t.Fatal("tool failed to detect the Listing 1 write skew")
+	}
+	joined := strings.Join(rep.Sites, " ")
+	if !strings.Contains(joined, "bank.check") && !strings.Contains(joined, "bank.withdraw") {
+		t.Fatalf("offending sites not identified: %v", rep.Sites)
+	}
+	if !strings.Contains(rep.String(), "write-skew") {
+		t.Fatalf("report rendering: %s", rep.String())
+	}
+}
+
+// TestListing1PromotionRepairs applies the tool's automatic repair and
+// verifies the skew can no longer commit on a fresh engine.
+func TestListing1PromotionRepairs(t *testing.T) {
+	// First run: detect.
+	rep := func() *Report {
+		e := core.New(core.DefaultConfig())
+		rec := NewRecorder()
+		e.SetTracer(rec)
+		m := txlib.NewMem(e)
+		a1, a2 := m.A.AllocLines(1), m.A.AllocLines(1)
+		e.NonTxWrite(a1, 60)
+		e.NonTxWrite(a2, 60)
+		sched.New(1, 1).Run(func(th *sched.Thread) {
+			t1, t2 := e.Begin(th), e.Begin(th)
+			t1.Site("bank.check")
+			_, _ = t1.Read(a1), t1.Read(a2)
+			t1.Site("bank.withdraw").Write(a1, 0)
+			t2.Site("bank.check")
+			_, _ = t2.Read(a1), t2.Read(a2)
+			t2.Site("bank.withdraw").Write(a2, 0)
+			_ = t1.Commit()
+			_ = t2.Commit()
+		})
+		return rec.Analyze()
+	}()
+	if !rep.HasSkew() {
+		t.Fatal("detection run found nothing")
+	}
+
+	// Second run: repaired engine must abort one transaction.
+	e := core.New(core.DefaultConfig())
+	rep.Promote(e)
+	m := txlib.NewMem(e)
+	a1, a2 := m.A.AllocLines(1), m.A.AllocLines(1)
+	e.NonTxWrite(a1, 60)
+	e.NonTxWrite(a2, 60)
+	aborts := 0
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		t1, t2 := e.Begin(th), e.Begin(th)
+		t1.Site("bank.check")
+		_, _ = t1.Read(a1), t1.Read(a2)
+		t1.Site("bank.withdraw").Write(a1, 0)
+		t2.Site("bank.check")
+		_, _ = t2.Read(a1), t2.Read(a2)
+		t2.Site("bank.withdraw").Write(a2, 0)
+		if t1.Commit() != nil {
+			aborts++
+		}
+		if t2.Commit() != nil {
+			aborts++
+		}
+	})
+	if aborts == 0 {
+		t.Fatal("promotion did not prevent the write skew")
+	}
+	sum := e.NonTxRead(a1) + e.NonTxRead(a2)
+	if sum < 60 {
+		t.Fatalf("invariant still broken after repair: sum=%d", sum)
+	}
+}
+
+// TestListing2ListSkew drives the unsafe linked-list removal (Listing 2
+// without line 10) until adjacent concurrent removes corrupt the list,
+// and checks the tool localises the traversal/remove sites.
+func TestListing2ListSkew(t *testing.T) {
+	e := core.New(core.DefaultConfig())
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	l := txlib.NewList(m)
+	l.UnsafeRemove = true
+	l.SeedNonTx([]uint64{10, 20, 30, 40, 50})
+
+	// Two logical threads remove adjacent elements concurrently.
+	sched.New(2, 3).Run(func(th *sched.Thread) {
+		k := uint64(20)
+		if th.ID() == 1 {
+			k = 30
+		}
+		tx := e.Begin(th)
+		l.Remove(tx, k)
+		if err := tx.Commit(); err != nil {
+			t.Errorf("thread %d: %v (disjoint writes must both commit)", th.ID(), err)
+		}
+	})
+
+	// The list is now inconsistent: 30 was "removed" but is still
+	// reachable through 10 -> 30 (20's unlink redirected to 30).
+	keys := l.KeysNonTx()
+	has30 := false
+	for _, k := range keys {
+		if k == 30 {
+			has30 = true
+		}
+	}
+	if !has30 {
+		t.Log("schedule did not corrupt; still expecting cycle detection")
+	}
+
+	rep := rec.Analyze()
+	if !rep.HasSkew() {
+		t.Fatal("tool failed to detect the Listing 2 write skew")
+	}
+	found := false
+	for _, s := range rep.Sites {
+		if strings.HasPrefix(s, "list.") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("list sites not identified: %v", rep.Sites)
+	}
+}
+
+// TestListing2FixForcesConflict verifies the line-10 fix: with safe
+// removal the same schedule produces a write-write conflict instead.
+func TestListing2FixForcesConflict(t *testing.T) {
+	e := core.New(core.DefaultConfig())
+	m := txlib.NewMem(e)
+	l := txlib.NewList(m) // safe removal by default
+	l.SeedNonTx([]uint64{10, 20, 30, 40, 50})
+	var errs int
+	sched.New(2, 3).Run(func(th *sched.Thread) {
+		k := uint64(20)
+		if th.ID() == 1 {
+			k = 30
+		}
+		tx := e.Begin(th)
+		l.Remove(tx, k)
+		if err := tx.Commit(); err != nil {
+			errs++
+		}
+	})
+	if errs == 0 {
+		t.Fatal("safe removal must force a write-write conflict on adjacent removes")
+	}
+	// Whatever committed, the list must be consistent: strictly sorted.
+	keys := l.KeysNonTx()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("list corrupt: %v", keys)
+		}
+	}
+}
+
+// TestNoFalseSkewOnSerialRuns checks that non-overlapping transactions
+// produce no candidates.
+func TestNoFalseSkewOnSerialRuns(t *testing.T) {
+	rec, _ := runSI(1, 1, func(m *txlib.Mem, th *sched.Thread) {
+		e := m.E
+		a := m.A.AllocLines(1)
+		for i := 0; i < 10; i++ {
+			tx := e.Begin(th)
+			v := tx.Read(a)
+			tx.Write(a, v+1)
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("commit %d: %v", i, err)
+			}
+		}
+	})
+	rep := rec.Analyze()
+	if rep.HasSkew() {
+		t.Fatalf("false positive on serial schedule: %s", rep)
+	}
+}
+
+// TestRBTreeSkewDetected reproduces the paper's finding of write skews in
+// the red-black tree: concurrent unpromoted updates create rw-dependency
+// cycles the tool reports.
+func TestRBTreeSkewDetected(t *testing.T) {
+	e := core.New(core.DefaultConfig()) // no promotion: raw tree
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	tr := txlib.NewRBTree(m)
+	var seedKeys []uint64
+	for i := uint64(1); i <= 40; i++ {
+		seedKeys = append(seedKeys, i*2)
+	}
+	tr.SeedNonTx(seedKeys)
+	sched.New(4, 5).Run(func(th *sched.Thread) {
+		r := th.Rand()
+		for i := 0; i < 15; i++ {
+			_ = tm.Atomic(e, th, tm.BackoffConfig{}, func(tx tm.Txn) error {
+				k := uint64(1 + r.Intn(80))
+				if r.Intn(2) == 0 {
+					tr.Insert(tx, k, k)
+				} else {
+					tr.Delete(tx, k)
+				}
+				return nil
+			})
+		}
+	})
+	rep := rec.Analyze()
+	if !rep.HasSkew() {
+		t.Skip("schedule exercised no dangerous cycle (tool is best-effort)")
+	}
+	foundTreeSite := false
+	for _, s := range rep.Sites {
+		if strings.HasPrefix(s, "rbtree.") {
+			foundTreeSite = true
+		}
+	}
+	if !foundTreeSite {
+		t.Fatalf("tree sites not identified: %v", rep.Sites)
+	}
+}
+
+func TestRecorderCounts(t *testing.T) {
+	rec, _ := runSI(1, 1, func(m *txlib.Mem, th *sched.Thread) {
+		e := m.E
+		a := m.A.AllocLines(1)
+		tx := e.Begin(th)
+		tx.Write(a, 1)
+		_ = tx.Commit()
+		tx2 := e.Begin(th)
+		tx2.Write(a, 2)
+		tx2.Abort()
+	})
+	if rec.Committed() != 1 {
+		t.Fatalf("committed = %d, want 1 (aborted attempts excluded)", rec.Committed())
+	}
+	if rec.Events() == 0 {
+		t.Fatal("no events recorded")
+	}
+}
+
+func TestTarjanSCC(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 cycle plus isolated 3 and chain 3 -> 0.
+	adj := [][]edge{
+		{{to: 1}},
+		{{to: 2}},
+		{{to: 0}},
+		{{to: 0}},
+	}
+	comps := tarjanSCC(adj)
+	var big []int
+	for _, c := range comps {
+		if len(c) > 1 {
+			big = c
+		}
+	}
+	if len(big) != 3 {
+		t.Fatalf("SCC = %v, want the 3-cycle", comps)
+	}
+}

@@ -1,0 +1,165 @@
+package skew
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// This file adds the tool workflow around the recorder: persisting traces
+// (the paper's tool writes a trace during execution and defers the heavy
+// analysis to post-processing, §5.1) and the schedule-coverage report the
+// paper describes as an extension ("we are currently extending our
+// methodology to provide information on test coverage").
+
+// Event is one trace record in the persisted stream.
+type Event struct {
+	Kind   string   `json:"k"` // "begin","read","write","commit","abort"
+	Txn    uint64   `json:"t"`
+	Thread int      `json:"h,omitempty"`
+	Addr   mem.Addr `json:"a,omitempty"`
+	Site   string   `json:"s,omitempty"`
+}
+
+// WriteTrace persists the recorded trace as JSON lines in global order. Only
+// committed transactions are written (aborted attempts cannot participate
+// in a write skew), each as its begin, accesses, and commit.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	// Reconstruct a globally ordered stream from the per-transaction
+	// records using the recorded sequence numbers.
+	type seqEvent struct {
+		seq uint64
+		ev  Event
+	}
+	var all []seqEvent
+	for _, t := range r.done {
+		all = append(all, seqEvent{t.beginSeq, Event{Kind: "begin", Txn: t.id, Thread: t.thread}})
+		for _, a := range t.reads {
+			all = append(all, seqEvent{a.seq, Event{Kind: "read", Txn: t.id, Addr: a.line.Base(), Site: a.site}})
+		}
+		for _, a := range t.writes {
+			all = append(all, seqEvent{a.seq, Event{Kind: "write", Txn: t.id, Addr: a.line.Base(), Site: a.site}})
+		}
+		all = append(all, seqEvent{t.commitSeq, Event{Kind: "commit", Txn: t.id}})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	for _, e := range all {
+		if err := enc.Encode(e.ev); err != nil {
+			return fmt.Errorf("skew: encode trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace reconstructs a Recorder from a persisted trace so analysis can
+// run offline, on another machine, or on merged traces.
+func ReadTrace(rd io.Reader) (*Recorder, error) {
+	rec := NewRecorder()
+	dec := json.NewDecoder(rd)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("skew: decode trace: %w", err)
+		}
+		switch e.Kind {
+		case "begin":
+			rec.TxnBegin(e.Txn, e.Thread)
+		case "read":
+			rec.TxnRead(e.Txn, e.Addr, e.Site)
+		case "write":
+			rec.TxnWrite(e.Txn, e.Addr, e.Site)
+		case "commit":
+			rec.TxnCommit(e.Txn)
+		case "abort":
+			rec.TxnAbort(e.Txn)
+		default:
+			return nil, fmt.Errorf("skew: unknown trace event kind %q", e.Kind)
+		}
+	}
+	return rec, nil
+}
+
+// Coverage reports how thoroughly the traced schedules exercised the
+// program's critical sections: which site pairs were ever observed
+// running in overlapping transactions. A skew between two sites can only
+// be detected if the pair was covered, so low coverage means the
+// best-effort analysis has blind spots (§5.1: "only a sufficiently large
+// test coverage leads to meaningful results").
+type Coverage struct {
+	// Sites are all distinct sites observed in committed transactions.
+	Sites []string
+	// ConcurrentPairs maps "siteA|siteB" (sorted) to the number of
+	// overlapping transaction pairs where one executed siteA and the
+	// other siteB.
+	ConcurrentPairs map[string]int
+	// PairsCovered / PairsPossible summarise the ratio.
+	PairsCovered, PairsPossible int
+}
+
+// Pct returns the covered fraction of site pairs as a percentage.
+func (c Coverage) Pct() float64 {
+	if c.PairsPossible == 0 {
+		return 0
+	}
+	return 100 * float64(c.PairsCovered) / float64(c.PairsPossible)
+}
+
+// MeasureCoverage computes schedule coverage over the committed trace.
+func (r *Recorder) MeasureCoverage() Coverage {
+	cov := Coverage{ConcurrentPairs: make(map[string]int)}
+	siteSet := map[string]bool{}
+	txSites := make([]map[string]bool, len(r.done))
+	for i, t := range r.done {
+		s := map[string]bool{}
+		for _, a := range t.reads {
+			if a.site != "" {
+				s[a.site] = true
+				siteSet[a.site] = true
+			}
+		}
+		for _, a := range t.writes {
+			if a.site != "" {
+				s[a.site] = true
+				siteSet[a.site] = true
+			}
+		}
+		txSites[i] = s
+	}
+	for s := range siteSet {
+		cov.Sites = append(cov.Sites, s)
+	}
+	sort.Strings(cov.Sites)
+
+	for i := 0; i < len(r.done); i++ {
+		for j := i + 1; j < len(r.done); j++ {
+			if !concurrent(r.done[i], r.done[j]) {
+				continue
+			}
+			for si := range txSites[i] {
+				for sj := range txSites[j] {
+					cov.ConcurrentPairs[pairKey(si, sj)]++
+				}
+			}
+		}
+	}
+	n := len(cov.Sites)
+	cov.PairsPossible = n * (n + 1) / 2
+	cov.PairsCovered = len(cov.ConcurrentPairs)
+	return cov
+}
+
+// pairKey builds the canonical (sorted) key for a site pair.
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}

@@ -1,0 +1,140 @@
+package skew
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/txlib"
+)
+
+// recordBankSkew produces a recorder holding the Listing 1 schedule.
+func recordBankSkew(t *testing.T) *Recorder {
+	t.Helper()
+	e := core.New(core.DefaultConfig())
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	a1, a2 := m.A.AllocLines(1), m.A.AllocLines(1)
+	e.NonTxWrite(a1, 60)
+	e.NonTxWrite(a2, 60)
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		t1, t2 := e.Begin(th), e.Begin(th)
+		t1.Site("bank.check")
+		_, _ = t1.Read(a1), t1.Read(a2)
+		t1.Site("bank.withdraw").Write(a1, 0)
+		t2.Site("bank.check")
+		_, _ = t2.Read(a1), t2.Read(a2)
+		t2.Site("bank.withdraw").Write(a2, 0)
+		if err := t1.Commit(); err != nil {
+			t.Fatalf("t1: %v", err)
+		}
+		if err := t2.Commit(); err != nil {
+			t.Fatalf("t2: %v", err)
+		}
+	})
+	return rec
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rec := recordBankSkew(t)
+	var buf bytes.Buffer
+	if err := rec.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty trace")
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Committed() != rec.Committed() {
+		t.Fatalf("committed = %d, want %d", back.Committed(), rec.Committed())
+	}
+	// The offline analysis must find the same skew.
+	rep1, rep2 := rec.Analyze(), back.Analyze()
+	if !rep2.HasSkew() {
+		t.Fatal("skew lost in trace round trip")
+	}
+	if len(rep1.Sites) != len(rep2.Sites) {
+		t.Fatalf("sites differ: %v vs %v", rep1.Sites, rep2.Sites)
+	}
+	for i := range rep1.Sites {
+		if rep1.Sites[i] != rep2.Sites[i] {
+			t.Fatalf("sites differ: %v vs %v", rep1.Sites, rep2.Sites)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader(`{"k":"frob","t":1}` + "\n")); err == nil {
+		t.Fatal("expected error for unknown event kind")
+	}
+	if _, err := ReadTrace(strings.NewReader("not json")); err == nil {
+		t.Fatal("expected error for malformed trace")
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	rec, err := ReadTrace(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Committed() != 0 || rec.Analyze().HasSkew() {
+		t.Fatal("empty trace must analyse cleanly")
+	}
+}
+
+func TestMeasureCoverage(t *testing.T) {
+	rec := recordBankSkew(t)
+	cov := rec.MeasureCoverage()
+	if len(cov.Sites) != 2 {
+		t.Fatalf("sites = %v, want [bank.check bank.withdraw]", cov.Sites)
+	}
+	// Both transactions overlap and each executes both sites: every
+	// pair (including self-pairs) is covered.
+	if cov.PairsPossible != 3 {
+		t.Fatalf("possible = %d, want 3", cov.PairsPossible)
+	}
+	if cov.PairsCovered != 3 {
+		t.Fatalf("covered = %d, want 3 (%v)", cov.PairsCovered, cov.ConcurrentPairs)
+	}
+	if cov.Pct() != 100 {
+		t.Fatalf("pct = %v, want 100", cov.Pct())
+	}
+}
+
+func TestCoverageSerialSchedulesCoverNothing(t *testing.T) {
+	e := core.New(core.DefaultConfig())
+	rec := NewRecorder()
+	e.SetTracer(rec)
+	m := txlib.NewMem(e)
+	a := m.A.AllocLines(1)
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		for i := 0; i < 3; i++ {
+			tx := e.Begin(th)
+			tx.Site("counter.inc")
+			tx.Write(a, tx.Read(a)+1)
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	cov := rec.MeasureCoverage()
+	if cov.PairsCovered != 0 {
+		t.Fatalf("serial schedule covered %d pairs, want 0 — the tool must report the blind spot", cov.PairsCovered)
+	}
+	if cov.Pct() != 0 {
+		t.Fatalf("pct = %v, want 0", cov.Pct())
+	}
+}
+
+func TestCoverageEmptyTrace(t *testing.T) {
+	cov := NewRecorder().MeasureCoverage()
+	if cov.Pct() != 0 || len(cov.Sites) != 0 {
+		t.Fatalf("empty coverage = %+v", cov)
+	}
+}

@@ -1,0 +1,21 @@
+package sontm_test
+
+import (
+	"testing"
+
+	"repro/internal/sontm"
+	"repro/internal/tm"
+	"repro/internal/tmtest"
+)
+
+func TestConformanceSONTM(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		return sontm.New(sontm.DefaultConfig())
+	})
+}
+
+func TestSerializableSemanticsSONTM(t *testing.T) {
+	tmtest.RunSerializableSuite(t, func() tm.Engine {
+		return sontm.New(sontm.DefaultConfig())
+	})
+}

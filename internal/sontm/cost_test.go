@@ -1,0 +1,80 @@
+package sontm
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// TestHistoryCheckCostGrowsWithConcurrency verifies the commit overhead
+// models the paper's read-history weakness: committing the same write set
+// costs more cycles when more transactions are active.
+func TestHistoryCheckCostGrowsWithConcurrency(t *testing.T) {
+	commitCost := func(extraActive int) uint64 {
+		e := New(DefaultConfig())
+		var cost uint64
+		single(func(th *sched.Thread) {
+			// Park extra transactions to inflate the active set.
+			var parked []tm.Txn
+			for i := 0; i < extraActive; i++ {
+				parked = append(parked, e.Begin(th))
+			}
+			tx := e.Begin(th)
+			tx.Write(addr(1), 1)
+			tx.Write(addr(2), 2)
+			before := th.Cycles()
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("commit: %v", err)
+			}
+			cost = th.Cycles() - before
+			for _, p := range parked {
+				p.Abort()
+			}
+		})
+		return cost
+	}
+	lo, hi := commitCost(0), commitCost(16)
+	if hi <= lo {
+		t.Fatalf("commit cost with 16 active (%d) not above idle cost (%d)", hi, lo)
+	}
+	// Two written lines x 16 extra actives x HistoryCheckCost.
+	wantDelta := 2 * 16 * DefaultConfig().HistoryCheckCost
+	if hi-lo < wantDelta {
+		t.Fatalf("cost delta = %d, want >= %d", hi-lo, wantDelta)
+	}
+}
+
+// TestTraceEmission verifies SONTM feeds the write-skew tool's recorder
+// with a begin/read/write/commit stream.
+func TestTraceEmission(t *testing.T) {
+	e := New(DefaultConfig())
+	rec := &countingTracer{}
+	e.SetTracer(rec)
+	single(func(th *sched.Thread) {
+		tx := e.Begin(th)
+		_ = tx.Read(addr(1))
+		tx.Write(addr(2), 5)
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tx2 := e.Begin(th)
+		tx2.Write(addr(3), 1)
+		tx2.Abort()
+	})
+	if rec.begins != 2 || rec.reads != 1 || rec.writes != 2 || rec.commits != 1 || rec.aborts != 1 {
+		t.Fatalf("trace counts = %+v", *rec)
+	}
+}
+
+// countingTracer tallies tracer callbacks.
+type countingTracer struct {
+	begins, reads, writes, commits, aborts int
+}
+
+func (c *countingTracer) TxnBegin(uint64, int)              { c.begins++ }
+func (c *countingTracer) TxnRead(uint64, mem.Addr, string)  { c.reads++ }
+func (c *countingTracer) TxnWrite(uint64, mem.Addr, string) { c.writes++ }
+func (c *countingTracer) TxnCommit(uint64)                  { c.commits++ }
+func (c *countingTracer) TxnAbort(uint64)                   { c.aborts++ }

@@ -1,0 +1,371 @@
+// Package sontm implements the paper's second baseline (§6.1): the SONTM
+// conflict-serializable HTM of Aydonat and Abdelrahman, which commits
+// transactions in the presence of conflicting accesses as long as a valid
+// serialization order exists.
+//
+// Each transaction maintains a serializability-order-number (SON) interval
+// [lo, hi]. Reads-from dependencies raise the lower bound (a transaction
+// serializes after the committed writer whose value it read, tracked via a
+// global write-numbers table). At commit, a writer must also serialize
+// after every committed reader of the lines it writes (the paper models an
+// infinitely sized read-history; we keep the equivalent per-line maximum
+// reader SON). A committing transaction broadcasts its write set: active
+// transactions that read any of those lines must serialize before it
+// (upper bound clamps), active transactions that wrote any of them must
+// serialize after it (lower bound raises). A transaction whose interval
+// empties can no longer be ordered and aborts.
+package sontm
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	Cache cache.Config
+	// BroadcastCost is the per-commit-line cost of broadcasting the
+	// write set to other cores for read-history checks.
+	BroadcastCost uint64
+	// HashCost models tagging committed writes with their SON in the
+	// global write-numbers hashtable (§6.1: "overheads in terms of
+	// hashing and additional memory write operations").
+	HashCost uint64
+	// HistoryCheckCost is charged per written line and per concurrent
+	// transaction at commit: the committer compares its write set
+	// "against every readset in the read-history table", whose
+	// population grows with concurrency — the weak point the paper
+	// calls out ("the overheads of maintaining and checking conflicts
+	// against this table are high") and the reason CS scalability
+	// drops off at higher thread counts in Figure 8.
+	HistoryCheckCost uint64
+	// CommitOverhead is the fixed commit setup cost.
+	CommitOverhead uint64
+}
+
+// DefaultConfig returns the evaluated configuration.
+func DefaultConfig() Config {
+	return Config{Cache: cache.DefaultConfig(), BroadcastCost: 4, HashCost: 6, HistoryCheckCost: 4, CommitOverhead: 10}
+}
+
+const maxSON = ^uint64(0)
+
+// sonGap spaces the SONs that committed writers occupy. Writers take the
+// next multiple of sonGap above their lower bound, leaving integer room so
+// that readers overlapping two writers can still serialize between them.
+const sonGap = 1 << 10
+
+// Engine is the SONTM baseline.
+type Engine struct {
+	cfg    Config
+	shared *cache.Shared
+	hier   map[int]*cache.Hierarchy
+	stats  tm.Stats
+	tracer tm.Tracer
+
+	words map[mem.Addr]uint64
+	// writeNums holds the SON of the last committed writer per line —
+	// SONTM's global write-numbers hashtable.
+	writeNums map[mem.Line]uint64
+	// readNums holds the maximum SON of any committed reader per line —
+	// the collapsed equivalent of the infinite read-history the paper
+	// models.
+	readNums map[mem.Line]uint64
+
+	active map[*txn]struct{}
+	txnSeq uint64
+
+	commitBusy bool
+}
+
+// New creates a SONTM engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:       cfg,
+		shared:    cache.NewShared(cfg.Cache),
+		hier:      make(map[int]*cache.Hierarchy),
+		words:     make(map[mem.Addr]uint64),
+		writeNums: make(map[mem.Line]uint64),
+		readNums:  make(map[mem.Line]uint64),
+		active:    make(map[*txn]struct{}),
+	}
+}
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string { return "SONTM" }
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() *tm.Stats { return &e.stats }
+
+// Promote implements tm.Engine; SONTM is serializable, so promotion is a
+// no-op.
+func (e *Engine) Promote(string) {}
+
+// SetTracer implements tm.Engine.
+func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
+
+// NonTxRead implements tm.Engine.
+func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words[a] }
+
+// NonTxWrite implements tm.Engine.
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words[a] = v }
+
+func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
+	h := e.hier[t.ID()]
+	if h == nil {
+		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
+		e.hier[t.ID()] = h
+	}
+	return h
+}
+
+// txn is one SONTM transaction attempt.
+type txn struct {
+	e  *Engine
+	t  *sched.Thread
+	h  *cache.Hierarchy
+	id uint64
+
+	lo, hi uint64 // SON interval, inclusive
+
+	readSet  map[mem.Line]struct{}
+	writeSet map[mem.Line]struct{}
+	writeLog map[mem.Addr]uint64
+	// writeOrder preserves first-write order so commit-time cache
+	// charging is deterministic (map iteration is not).
+	writeOrder []mem.Line
+
+	doomed   bool
+	doomLine mem.Line
+	finished bool
+	site     string
+}
+
+var _ tm.Txn = (*txn)(nil)
+
+// Begin implements tm.Engine.
+func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	e.txnSeq++
+	tx := &txn{
+		e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
+		lo: 1, hi: maxSON,
+		readSet:  make(map[mem.Line]struct{}),
+		writeSet: make(map[mem.Line]struct{}),
+		writeLog: make(map[mem.Addr]uint64),
+	}
+	e.active[tx] = struct{}{}
+	if e.tracer != nil {
+		e.tracer.TxnBegin(tx.id, t.ID())
+	}
+	t.Tick(2)
+	return tx
+}
+
+// Site implements tm.Txn.
+func (x *txn) Site(s string) tm.Txn { x.site = s; return x }
+
+// raiseLo raises the lower bound; the interval emptying dooms the txn.
+func (x *txn) raiseLo(v uint64, line mem.Line) {
+	if v > x.lo {
+		x.lo = v
+	}
+	if x.lo > x.hi {
+		x.doomed = true
+		x.doomLine = line
+	}
+}
+
+// clampHi lowers the upper bound; the interval emptying dooms the txn.
+func (x *txn) clampHi(v uint64, line mem.Line) {
+	if v < x.hi {
+		x.hi = v
+	}
+	if x.lo > x.hi {
+		x.doomed = true
+		x.doomLine = line
+	}
+}
+
+// checkDoom unwinds (via the tm abort signal) if the SON interval has
+// emptied; used on the Read/Write paths.
+func (x *txn) checkDoom() {
+	if !x.doomed {
+		return
+	}
+	x.abortDoomed()
+	tm.SignalAbort(tm.AbortOrder, x.doomLine)
+}
+
+// abortDoomed finalises a doomed transaction and returns its abort error;
+// used on the Commit path.
+func (x *txn) abortDoomed() error {
+	x.cleanup()
+	x.e.stats.Count(tm.AbortOrder)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	return &tm.AbortError{Kind: tm.AbortOrder, Line: x.doomLine}
+}
+
+// Read implements tm.Txn: the transaction must serialize after the
+// committed writer whose value it reads.
+func (x *txn) Read(a mem.Addr) uint64 {
+	x.checkDoom()
+	line := mem.LineOf(a)
+	x.t.Tick(x.h.Access(line))
+	if x.e.tracer != nil {
+		x.e.tracer.TxnRead(x.id, a, x.site)
+	}
+	x.readSet[line] = struct{}{}
+	x.raiseLo(x.e.writeNums[line]+1, line)
+	x.checkDoom()
+	if v, ok := x.writeLog[a]; ok {
+		return v
+	}
+	return x.e.words[a]
+}
+
+// ReadPromoted implements tm.Txn; SONTM is serializable, so it is an
+// ordinary read.
+func (x *txn) ReadPromoted(a mem.Addr) uint64 { return x.Read(a) }
+
+// Write implements tm.Txn: the store is logged; the transaction must
+// serialize after the last committed writer of the line.
+func (x *txn) Write(a mem.Addr, v uint64) {
+	x.checkDoom()
+	line := mem.LineOf(a)
+	x.t.Tick(x.h.Access(line))
+	if x.e.tracer != nil {
+		x.e.tracer.TxnWrite(x.id, a, x.site)
+	}
+	if _, ok := x.writeSet[line]; !ok {
+		x.writeSet[line] = struct{}{}
+		x.writeOrder = append(x.writeOrder, line)
+	}
+	x.writeLog[a] = v
+	x.raiseLo(x.e.writeNums[line]+1, line)
+	x.checkDoom()
+}
+
+func (x *txn) cleanup() {
+	delete(x.e.active, x)
+	x.finished = true
+}
+
+// Abort implements tm.Txn.
+func (x *txn) Abort() {
+	if x.finished {
+		return
+	}
+	x.cleanup()
+	x.e.stats.Count(tm.AbortExplicit)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	x.t.Tick(2)
+}
+
+// Commit implements tm.Txn: the transaction picks the smallest SON in its
+// interval, serializes after committed readers of its write set, and
+// broadcasts the write set so concurrent transactions adjust their own
+// intervals (§6.1).
+func (x *txn) Commit() error {
+	if x.finished {
+		panic("sontm: Commit on finished transaction")
+	}
+	if x.doomed {
+		return x.abortDoomed()
+	}
+	if len(x.writeLog) == 0 {
+		// Readers commit with their interval; record their reads so
+		// future writers serialize after them.
+		son := x.lo
+		for line := range x.readSet {
+			if son > x.e.readNums[line] {
+				x.e.readNums[line] = son
+			}
+		}
+		x.cleanup()
+		x.e.stats.Commits++
+		x.e.stats.ReadOnly++
+		if x.e.tracer != nil {
+			x.e.tracer.TxnCommit(x.id)
+		}
+		x.t.Tick(2)
+		return nil
+	}
+
+	// Unlike the 2PL baseline, SONTM detects conflicts eagerly during
+	// execution, so commits of different transactions have disjoint
+	// effects and need no token: the commit's hashing, broadcast and
+	// write-back overheads are accumulated and charged to the thread
+	// without serializing other committers behind it.
+	var cost uint64 = x.e.cfg.CommitOverhead
+
+	// Serialize after every committed reader of the lines we write
+	// (the read-history check); the scan cost grows with the number of
+	// retained readsets, which tracks concurrency.
+	for line := range x.writeSet {
+		cost += x.e.cfg.BroadcastCost + x.e.cfg.HistoryCheckCost*uint64(len(x.e.active))
+		x.raiseLo(x.e.readNums[line]+1, line)
+	}
+	// Writers occupy the next sonGap multiple above their lower bound,
+	// leaving room below for overlapping readers to serialize.
+	son := (x.lo/sonGap + 1) * sonGap
+	if x.doomed || son > x.hi {
+		x.doomed = true
+		return x.abortDoomed()
+	}
+
+	// Broadcast the write set: concurrent readers of these lines must
+	// serialize before us; concurrent writers after us.
+	for _, line := range x.writeOrder {
+		for other := range x.e.active {
+			if other == x || other.finished {
+				continue
+			}
+			// A transaction that wrote the line must serialize
+			// after us; one that read it must serialize before
+			// us. A read-modify-write needs both and its
+			// interval empties — exactly the Kmeans pattern the
+			// paper notes CS cannot help with.
+			if _, ok := other.writeSet[line]; ok {
+				other.raiseLo(son+1, line)
+			}
+			if _, ok := other.readSet[line]; ok {
+				other.clampHi(son-1, line)
+			}
+		}
+	}
+
+	// Write back and tag committed writes with the SON in the global
+	// write-numbers hashtable.
+	for a, v := range x.writeLog {
+		x.e.words[a] = v
+	}
+	for _, line := range x.writeOrder {
+		cost += x.h.Access(line) + x.e.cfg.HashCost
+		if son > x.e.writeNums[line] {
+			x.e.writeNums[line] = son
+		}
+		for id, h := range x.e.hier {
+			if id != x.t.ID() {
+				h.Invalidate(line)
+			}
+		}
+	}
+	for line := range x.readSet {
+		if son > x.e.readNums[line] {
+			x.e.readNums[line] = son
+		}
+	}
+	x.cleanup()
+	x.e.stats.Commits++
+	if x.e.tracer != nil {
+		x.e.tracer.TxnCommit(x.id)
+	}
+	x.t.Tick(cost)
+	return nil
+}

@@ -1,0 +1,102 @@
+package stamp
+
+import (
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// Bayes models Bayesian network structure learning: threads pop candidate
+// edges from a shared task heap, score them by reading a long stretch of
+// the shared adjacency/score state (few but long and costly transactions),
+// and occasionally commit an edge insertion plus follow-up tasks. A
+// quarter of the transactions are pure score queries — the 25% read-only
+// ratio the paper cites when explaining SI's ~20x abort reduction and 10x
+// speedup at 32 threads (§6.3, §6.4).
+type Bayes struct {
+	TasksPerThread int
+	Vars           int // network variables
+	ScoreReads     int // adjacency cells read per scoring pass
+	ReadOnlyPct    int // pure query transactions (paper: 25)
+	InterTxnCycles uint64
+
+	adj   *txlib.Vector // Vars*Vars adjacency, packed
+	tasks *txlib.Heap
+}
+
+// NewBayes returns the scaled default configuration.
+func NewBayes() *Bayes {
+	return &Bayes{TasksPerThread: 30, Vars: 48, ScoreReads: 64, ReadOnlyPct: 25, InterTxnCycles: 60}
+}
+
+// Name implements the harness Workload interface.
+func (w *Bayes) Name() string { return "Bayes" }
+
+// Setup implements the harness Workload interface.
+func (w *Bayes) Setup(m *txlib.Mem, threads int) {
+	w.adj = txlib.NewVector(m, w.Vars*w.Vars, false)
+	w.tasks = txlib.NewHeap(m, 4096)
+	r := sched.NewRand(31337)
+	seed := make([]uint64, w.TasksPerThread*threads)
+	for i := range seed {
+		u, v := r.Intn(w.Vars), r.Intn(w.Vars)
+		seed[i] = uint64(u*w.Vars+v) + 1
+	}
+	w.tasks.SeedNonTx(seed)
+}
+
+// Run implements the harness Workload interface.
+func (w *Bayes) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
+	r := th.Rand()
+	for i := 0; i < w.TasksPerThread; i++ {
+		th.Tick(w.InterTxnCycles)
+		if r.Intn(100) < w.ReadOnlyPct {
+			// Pure score query: long read-only scan of the
+			// adjacency state.
+			start := r.Intn(w.Vars * w.Vars)
+			atomicOp(m, th, bo, func(tx tm.Txn) error {
+				var s uint64
+				for k := 0; k < w.ScoreReads; k++ {
+					s += w.adj.Get(tx, (start+k)%(w.Vars*w.Vars))
+				}
+				return nil
+			})
+			continue
+		}
+		// Learning step: pop a task, score it (long reads), maybe
+		// insert the edge and enqueue follow-ups.
+		var task uint64
+		var ok bool
+		atomicOp(m, th, bo, func(tx tm.Txn) error {
+			task, ok = w.tasks.Pop(tx)
+			return nil
+		})
+		if !ok {
+			task = uint64(r.Intn(w.Vars*w.Vars)) + 1
+		}
+		cell := int(task-1) % (w.Vars * w.Vars)
+		accept := r.Intn(100) < 30
+		atomicOp(m, th, bo, func(tx tm.Txn) error {
+			var score uint64
+			for k := 0; k < w.ScoreReads; k++ {
+				score += w.adj.Get(tx, (cell+k*7)%(w.Vars*w.Vars))
+			}
+			// Insert the edge only when the score test passes: most
+			// learning steps evaluate a candidate and reject it, so
+			// the long transactions stay read-dominated.
+			if accept {
+				w.adj.Set(tx, cell, task)
+			}
+			return nil
+		})
+		if r.Intn(4) == 0 {
+			atomicOp(m, th, bo, func(tx tm.Txn) error {
+				w.tasks.Push(tx, uint64(r.Intn(w.Vars*w.Vars))+1)
+				return nil
+			})
+		}
+	}
+}
+
+// Validate implements the harness Workload interface.
+func (w *Bayes) Validate(m *txlib.Mem) string { return "" }

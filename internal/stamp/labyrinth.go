@@ -1,0 +1,72 @@
+package stamp
+
+import (
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// Labyrinth models the path-routing CAD kernel: each transaction routes
+// one net through a shared 3D grid, reading the cells along a candidate
+// path and, if all are free, claiming them. Transactions are long but the
+// grid is large, so absolute abort rates are low for every TM flavour and
+// scalability is not limited by the TM policy (§6.3).
+type Labyrinth struct {
+	RoutesPerThread int
+	X, Y, Z         int // grid dimensions
+	InterTxnCycles  uint64
+
+	grid *txlib.Vector // packed: cells are words; 0 = free, else net id
+}
+
+// NewLabyrinth returns the scaled default configuration.
+func NewLabyrinth() *Labyrinth {
+	return &Labyrinth{RoutesPerThread: 40, X: 24, Y: 24, Z: 3, InterTxnCycles: 50}
+}
+
+// Name implements the harness Workload interface.
+func (w *Labyrinth) Name() string { return "Labyrinth" }
+
+// Setup implements the harness Workload interface.
+func (w *Labyrinth) Setup(m *txlib.Mem, threads int) {
+	w.grid = txlib.NewVector(m, w.X*w.Y*w.Z, false)
+}
+
+func (w *Labyrinth) cell(x, y, z int) int { return (z*w.Y+y)*w.X + x }
+
+// Run implements the harness Workload interface.
+func (w *Labyrinth) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
+	r := th.Rand()
+	net := uint64(th.ID())<<32 | 1
+	for i := 0; i < w.RoutesPerThread; i++ {
+		th.Tick(w.InterTxnCycles)
+		// Manhattan route between two random points on a random layer.
+		x0, y0 := r.Intn(w.X), r.Intn(w.Y)
+		x1, y1 := r.Intn(w.X), r.Intn(w.Y)
+		z := r.Intn(w.Z)
+		atomicOp(m, th, bo, func(tx tm.Txn) error {
+			var path []int
+			for x := min(x0, x1); x <= max(x0, x1); x++ {
+				path = append(path, w.cell(x, y0, z))
+			}
+			for y := min(y0, y1); y <= max(y0, y1); y++ {
+				path = append(path, w.cell(x1, y, z))
+			}
+			// Read phase: the whole candidate path must be free.
+			for _, c := range path {
+				if w.grid.Get(tx, c) != 0 {
+					return nil // blocked: give up this net
+				}
+			}
+			// Write phase: claim the path.
+			for _, c := range path {
+				w.grid.Set(tx, c, net)
+			}
+			return nil
+		})
+		net++
+	}
+}
+
+// Validate implements the harness Workload interface.
+func (w *Labyrinth) Validate(m *txlib.Mem) string { return "" }

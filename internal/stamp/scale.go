@@ -1,0 +1,70 @@
+package stamp
+
+// Scale implementations grow the kernels toward the paper's STAMP
+// configurations; transaction structure is unchanged, only input sizes and
+// per-thread work multiply.
+
+// Scale implements harness.Scalable.
+func (g *Genome) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	g.Segments *= factor
+	g.KeySpace *= factor
+	g.Buckets *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *Intruder) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.PacketsPerThread *= factor
+	w.Flows *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *Kmeans) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.PointsPerThread *= factor
+	w.Clusters *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *Labyrinth) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.RoutesPerThread *= factor
+	w.X *= factor
+	w.Y *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *SSCA2) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.EdgesPerThread *= factor
+	w.Vertices *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *Vacation) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.TxnsPerThread *= factor
+	w.ItemsPerTable *= factor
+}
+
+// Scale implements harness.Scalable.
+func (w *Bayes) Scale(factor int) {
+	if factor < 1 {
+		return
+	}
+	w.TasksPerThread *= factor
+	w.Vars *= factor
+}

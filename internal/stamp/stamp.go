@@ -1,0 +1,21 @@
+// Package stamp re-implements the transactional structure of the seven
+// STAMP applications the paper evaluates (§6.2): genome, intruder, kmeans,
+// labyrinth, ssca2, vacation and bayes. The kernels are original Go
+// programs that preserve what determines abort behaviour — the read:write
+// ratio, transaction length, read-only fraction and contention footprint
+// of each application's transactions — while scaling the input sizes down
+// so a full figure sweep runs in seconds. Every kernel satisfies the
+// harness Workload interface structurally.
+package stamp
+
+import (
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// atomicOp runs body as one transaction with the configured backoff,
+// ignoring engine aborts (they are counted by the engine and retried).
+func atomicOp(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig, body func(tx tm.Txn) error) {
+	_ = tm.Atomic(m.E, th, bo, body)
+}

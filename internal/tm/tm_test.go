@@ -1,0 +1,101 @@
+package tm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+)
+
+func TestAbortKindStrings(t *testing.T) {
+	kinds := map[AbortKind]string{
+		AbortReadWrite:  "read-write",
+		AbortWriteWrite: "write-write",
+		AbortOrder:      "order",
+		AbortCapacity:   "capacity",
+		AbortSkew:       "skew",
+		AbortExplicit:   "explicit",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if AbortKind(99).String() == "" {
+		t.Error("unknown kind must still stringify")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	var s Stats
+	s.Commits = 90
+	s.Count(AbortWriteWrite)
+	s.Count(AbortWriteWrite)
+	s.Count(AbortReadWrite)
+	if s.TotalAborts() != 3 {
+		t.Fatalf("TotalAborts = %d, want 3", s.TotalAborts())
+	}
+	// 3 aborts out of 93 attempts.
+	got := s.AbortRate()
+	want := 3.0 / 93.0
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("AbortRate = %v, want %v", got, want)
+	}
+	s.Reset()
+	if s.TotalAborts() != 0 || s.Commits != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestAbortRateEmpty(t *testing.T) {
+	var s Stats
+	if s.AbortRate() != 0 {
+		t.Fatal("empty stats must have zero abort rate")
+	}
+}
+
+func TestBackoffDisabled(t *testing.T) {
+	b := BackoffConfig{}
+	if d := b.Delay(5, sched.NewRand(1)); d != 0 {
+		t.Fatalf("disabled backoff delay = %d, want 0", d)
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := DefaultBackoff()
+	r := sched.NewRand(1)
+	prevMax := uint64(0)
+	for attempt := 1; attempt <= 15; attempt++ {
+		maxWindow := b.Base << min(uint(attempt), b.MaxShift)
+		if maxWindow < prevMax {
+			t.Fatalf("window shrank at attempt %d", attempt)
+		}
+		prevMax = maxWindow
+		d := b.Delay(attempt, r)
+		if d < maxWindow/2 || d > maxWindow {
+			t.Fatalf("attempt %d: delay %d outside [%d,%d]", attempt, d, maxWindow/2, maxWindow)
+		}
+	}
+}
+
+func TestBackoffDelayProperty(t *testing.T) {
+	f := func(seed uint64, attempt uint8) bool {
+		b := DefaultBackoff()
+		if attempt == 0 {
+			return b.Delay(0, sched.NewRand(seed)) == 0
+		}
+		d := b.Delay(int(attempt), sched.NewRand(seed))
+		limit := b.Base << b.MaxShift
+		return d > 0 && d <= limit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortErrorMessage(t *testing.T) {
+	e := &AbortError{Kind: AbortWriteWrite, Line: 0x10}
+	if e.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}

@@ -1,0 +1,17 @@
+package tm
+
+import "repro/internal/mem"
+
+// Tracer observes the globally ordered stream of transactional operations,
+// exactly the trace the paper's PIN tool records for write-skew analysis
+// (§5.1): TM_BEGIN, TM_READ, TM_WRITE, TM_COMMIT (and aborts). Because the
+// machine is simulated deterministically, calls arrive already in global
+// order. Site carries the source location the tool would recover from the
+// call stack.
+type Tracer interface {
+	TxnBegin(txn uint64, thread int)
+	TxnRead(txn uint64, a mem.Addr, site string)
+	TxnWrite(txn uint64, a mem.Addr, site string)
+	TxnCommit(txn uint64)
+	TxnAbort(txn uint64)
+}

@@ -1,0 +1,167 @@
+package tmtest
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// RunSnapshotIsolationSuite verifies the behaviours that define snapshot
+// isolation (§2, §4): reads come from a begin-time snapshot, read-write
+// conflicts never abort, read-only transactions always commit — and the
+// write-skew anomaly is permitted (§5). Run it against SI-TM only.
+func RunSnapshotIsolationSuite(t *testing.T, f Factory) {
+	t.Helper()
+	t.Run("SnapshotStability", func(t *testing.T) { testSnapshotStability(t, f) })
+	t.Run("ReadWriteConflictCommits", func(t *testing.T) { testRWConflictCommits(t, f) })
+	t.Run("ReadOnlyNeverAborts", func(t *testing.T) { testReadOnlyNeverAborts(t, f) })
+	t.Run("WriteSkewPermitted", func(t *testing.T) { testWriteSkewPermitted(t, f) })
+}
+
+// RunSerializableSuite verifies serializability: the write-skew anomaly
+// must be rejected. Run it against 2PL, SONTM and SSI-TM.
+func RunSerializableSuite(t *testing.T, f Factory) {
+	t.Helper()
+	t.Run("WriteSkewRejected", func(t *testing.T) { testWriteSkewRejected(t, f) })
+	t.Run("InvariantPreservedUnderStress", func(t *testing.T) { testInvariantStress(t, f) })
+}
+
+func testSnapshotStability(t *testing.T, f Factory) {
+	e := f()
+	e.NonTxWrite(addr(1), 10)
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		reader := e.Begin(th)
+		if v := reader.Read(addr(1)); v != 10 {
+			t.Fatalf("first read = %d", v)
+		}
+		w := e.Begin(th)
+		w.Write(addr(1), 99)
+		if err := w.Commit(); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		if v := reader.Read(addr(1)); v != 10 {
+			t.Errorf("snapshot unstable: reread = %d, want 10", v)
+		}
+		if err := reader.Commit(); err != nil {
+			t.Errorf("reader: %v", err)
+		}
+	})
+}
+
+func testRWConflictCommits(t *testing.T, f Factory) {
+	e := f()
+	e.NonTxWrite(addr(1), 1)
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		t1 := e.Begin(th)
+		_ = t1.Read(addr(1))
+		t1.Write(addr(2), 2)
+		t2 := e.Begin(th)
+		t2.Write(addr(1), 5)
+		if err := t2.Commit(); err != nil {
+			t.Fatalf("t2: %v", err)
+		}
+		if err := t1.Commit(); err != nil {
+			t.Errorf("read-write conflict aborted a transaction under SI: %v", err)
+		}
+	})
+}
+
+func testReadOnlyNeverAborts(t *testing.T, f Factory) {
+	e := f()
+	s := sched.New(4, 3)
+	s.Run(func(th *sched.Thread) {
+		if th.ID() == 0 {
+			for i := uint64(0); i < 30; i++ {
+				_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+					tx.Write(addr(1+int(i%8)), i)
+					return nil
+				})
+			}
+			return
+		}
+		for i := 0; i < 30; i++ {
+			tx := e.Begin(th)
+			for j := 0; j < 8; j++ {
+				_ = tx.Read(addr(1 + j))
+			}
+			if err := tx.Commit(); err != nil {
+				t.Errorf("read-only transaction aborted: %v", err)
+			}
+		}
+	})
+}
+
+// skewSchedule runs the Listing 1 pattern and returns how many of the two
+// transactions aborted and the final sum.
+func skewSchedule(e tm.Engine) (aborts int, sum uint64) {
+	a, b := addr(1), addr(2)
+	e.NonTxWrite(a, 60)
+	e.NonTxWrite(b, 60)
+	sched.New(2, 5).Run(func(th *sched.Thread) {
+		target := a
+		if th.ID() == 1 {
+			target = b
+		}
+		failed := true
+		func() {
+			defer func() { recover() }()
+			tx := e.Begin(th)
+			if tx.Read(a)+tx.Read(b) > 100 {
+				th.Tick(200) // force overlap of both checks
+				tx.Write(target, tx.Read(target)-100)
+			}
+			failed = tx.Commit() != nil
+		}()
+		if failed {
+			aborts++
+		}
+	})
+	return aborts, e.NonTxRead(a) + e.NonTxRead(b)
+}
+
+func testWriteSkewPermitted(t *testing.T, f Factory) {
+	aborts, _ := skewSchedule(f())
+	if aborts != 0 {
+		t.Errorf("SI must permit the write skew (both commit); aborts=%d", aborts)
+	}
+}
+
+func testWriteSkewRejected(t *testing.T, f Factory) {
+	aborts, sum := skewSchedule(f())
+	if aborts == 0 {
+		t.Fatalf("serializable engine permitted write skew (sum=%d)", sum)
+	}
+	// The surviving state satisfies the invariant (unsigned underflow
+	// would produce a huge sum).
+	if sum < 20 || sum > 120 {
+		t.Fatalf("invariant violated after rejection: sum=%d", sum)
+	}
+}
+
+func testInvariantStress(t *testing.T, f Factory) {
+	e := f()
+	a, b := addr(1), addr(2)
+	e.NonTxWrite(a, 500)
+	e.NonTxWrite(b, 500)
+	s := sched.New(4, 7)
+	s.Run(func(th *sched.Thread) {
+		r := th.Rand()
+		for i := 0; i < 25; i++ {
+			target := a
+			if r.Intn(2) == 1 {
+				target = b
+			}
+			_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+				if tx.Read(a)+tx.Read(b) >= 100 {
+					tx.Write(target, tx.Read(target)-10)
+				}
+				return nil
+			})
+		}
+	})
+	sum := e.NonTxRead(a) + e.NonTxRead(b)
+	if sum < 80 || sum > 1000 {
+		t.Fatalf("invariant broken under stress: sum=%d", sum)
+	}
+}

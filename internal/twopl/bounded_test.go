@@ -1,0 +1,92 @@
+package twopl
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// TestVersionBufferOverflowAborts reproduces the §4.3 limitation of
+// cache-buffered HTMs: a transaction whose write set exceeds the version
+// buffer aborts with a capacity abort, regardless of conflicts.
+func TestVersionBufferOverflowAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VersionBufferLines = 8
+	e := New(cfg)
+	single(func(th *sched.Thread) {
+		tx := e.Begin(th)
+		aborted := false
+		func() {
+			defer func() {
+				if recover() != nil {
+					aborted = true
+				}
+			}()
+			for i := 0; i < 9; i++ { // ninth distinct line overflows
+				tx.Write(addr(i+1), uint64(i))
+			}
+			_ = tx.Commit()
+		}()
+		if !aborted {
+			t.Error("9-line write set must overflow an 8-line buffer")
+		}
+	})
+	if e.Stats().Aborts[tm.AbortCapacity] != 1 {
+		t.Fatalf("capacity aborts = %d, want 1", e.Stats().Aborts[tm.AbortCapacity])
+	}
+	// Nothing leaked.
+	for i := 0; i < 9; i++ {
+		if e.NonTxRead(addr(i+1)) != 0 {
+			t.Fatal("overflowed transaction leaked writes")
+		}
+	}
+}
+
+// TestVersionBufferRepeatedLinesDoNotOverflow checks the bound counts
+// distinct lines, not stores.
+func TestVersionBufferRepeatedLinesDoNotOverflow(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VersionBufferLines = 2
+	e := New(cfg)
+	single(func(th *sched.Thread) {
+		tx := e.Begin(th)
+		for i := 0; i < 20; i++ {
+			tx.Write(addr(1), uint64(i)) // same line over and over
+			tx.Write(addr(2), uint64(i))
+		}
+		if err := tx.Commit(); err != nil {
+			t.Errorf("repeated stores to 2 lines must fit a 2-line buffer: %v", err)
+		}
+	})
+}
+
+// TestInterruptInjectionAborts reproduces the §1/§4.3 claim: interrupts
+// abort cache-buffered transactions. The retry loop still finishes the
+// work.
+func TestInterruptInjectionAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InterruptPeriod = 7
+	e := New(cfg)
+	s := sched.New(2, 9)
+	s.Run(func(th *sched.Thread) {
+		for i := 0; i < 20; i++ {
+			err := tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+				v := tx.Read(addr(1 + th.ID()))
+				tx.Write(addr(1+th.ID()), v+1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Atomic: %v", err)
+			}
+		}
+	})
+	if e.Stats().Aborts[tm.AbortInterrupt] == 0 {
+		t.Fatal("no interrupt aborts despite injection")
+	}
+	// Disjoint lines: every abort here is interrupt-caused, and all
+	// increments still land exactly once.
+	if e.NonTxRead(addr(1)) != 20 || e.NonTxRead(addr(2)) != 20 {
+		t.Fatalf("counters = %d,%d want 20,20", e.NonTxRead(addr(1)), e.NonTxRead(addr(2)))
+	}
+}

@@ -1,0 +1,21 @@
+package twopl_test
+
+import (
+	"testing"
+
+	"repro/internal/tm"
+	"repro/internal/tmtest"
+	"repro/internal/twopl"
+)
+
+func TestConformance2PL(t *testing.T) {
+	tmtest.RunConformance(t, func() tm.Engine {
+		return twopl.New(twopl.DefaultConfig())
+	})
+}
+
+func TestSerializableSemantics2PL(t *testing.T) {
+	tmtest.RunSerializableSuite(t, func() tm.Engine {
+		return twopl.New(twopl.DefaultConfig())
+	})
+}

@@ -1,0 +1,358 @@
+// Package twopl implements the paper's first baseline (§6.1): a
+// state-of-the-art HTM with two-phase-locking semantics — eager conflict
+// detection with a "requester wins" policy and lazy version management.
+//
+// Conflicts are detected at every transactional access, modelling the
+// coherency broadcast: a transactional read sends a get-shared message
+// that aborts any other transaction holding the line in its write set; a
+// transactional write sends a get-exclusive message that aborts every
+// other reader and writer of the line. Read and write sets are perfect
+// (no-false-positive) bloom filters, modelled as exact sets. Commits
+// serialize on a commit token and write the speculative write log back to
+// memory; aborts discard the logs and restart in software.
+package twopl
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	Cache cache.Config
+	// BroadcastCost is the per-access cycle cost of the coherency
+	// broadcast used for eager conflict detection.
+	BroadcastCost uint64
+	// CommitOverhead is the fixed cost of acquiring the commit token.
+	CommitOverhead uint64
+	// VersionBufferLines bounds the speculative write set: conventional
+	// HTMs use the L1 cache as the version buffer and abort on
+	// overflow (§4.3 — Haswell aborts transactions touching more than
+	// its L1 can hold, sometimes after only 9 writes due to
+	// associativity). 0 models an idealised unbounded buffer.
+	VersionBufferLines int
+	// InterruptPeriod injects an interrupt every N transactional
+	// accesses engine-wide; a cache-buffered transaction cannot
+	// survive a context switch, so the transaction running on the
+	// interrupted thread aborts (§1, §4.3). 0 disables injection.
+	InterruptPeriod int
+	// InterruptCost is the handler overhead charged per interrupt.
+	InterruptCost uint64
+}
+
+// DefaultConfig returns the evaluated configuration: idealised unbounded
+// version buffers and no interrupts, matching the paper's baseline model.
+func DefaultConfig() Config {
+	return Config{Cache: cache.DefaultConfig(), BroadcastCost: 2, CommitOverhead: 10, InterruptCost: 200}
+}
+
+// lineState tracks which active transactions hold a line transactionally.
+type lineState struct {
+	writer  *txn
+	readers map[*txn]struct{}
+}
+
+// Engine is the 2PL baseline.
+type Engine struct {
+	cfg    Config
+	shared *cache.Shared
+	hier   map[int]*cache.Hierarchy
+	stats  tm.Stats
+	tracer tm.Tracer
+
+	words  map[mem.Addr]uint64
+	lines  map[mem.Line]*lineState
+	txnSeq uint64
+
+	commitBusy  bool
+	accessCount int
+}
+
+// New creates a 2PL engine.
+func New(cfg Config) *Engine {
+	return &Engine{
+		cfg:    cfg,
+		shared: cache.NewShared(cfg.Cache),
+		hier:   make(map[int]*cache.Hierarchy),
+		words:  make(map[mem.Addr]uint64),
+		lines:  make(map[mem.Line]*lineState),
+	}
+}
+
+// Name implements tm.Engine.
+func (e *Engine) Name() string { return "2PL" }
+
+// Stats implements tm.Engine.
+func (e *Engine) Stats() *tm.Stats { return &e.stats }
+
+// Promote implements tm.Engine. 2PL already aborts on read-write
+// conflicts, so promotion is a no-op: serializability needs no repair.
+func (e *Engine) Promote(string) {}
+
+// SetTracer implements tm.Engine.
+func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
+
+// NonTxRead implements tm.Engine.
+func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words[a] }
+
+// NonTxWrite implements tm.Engine.
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words[a] = v }
+
+func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
+	h := e.hier[t.ID()]
+	if h == nil {
+		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
+		e.hier[t.ID()] = h
+	}
+	return h
+}
+
+func (e *Engine) state(l mem.Line) *lineState {
+	s := e.lines[l]
+	if s == nil {
+		s = &lineState{readers: make(map[*txn]struct{})}
+		e.lines[l] = s
+	}
+	return s
+}
+
+// txn is one 2PL transaction attempt.
+type txn struct {
+	e  *Engine
+	t  *sched.Thread
+	h  *cache.Hierarchy
+	id uint64
+
+	readSet  map[mem.Line]struct{}
+	writeLog map[mem.Addr]uint64
+	writeSet map[mem.Line]struct{}
+	// writeOrder preserves first-write order so commit-time cycle
+	// charging is deterministic (map iteration is not).
+	writeOrder []mem.Line
+
+	doomed   bool
+	doomKind tm.AbortKind
+	doomLine mem.Line
+	finished bool
+	site     string
+}
+
+var _ tm.Txn = (*txn)(nil)
+
+// Begin implements tm.Engine.
+func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	e.txnSeq++
+	tx := &txn{
+		e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
+		readSet:  make(map[mem.Line]struct{}),
+		writeLog: make(map[mem.Addr]uint64),
+		writeSet: make(map[mem.Line]struct{}),
+	}
+	if e.tracer != nil {
+		e.tracer.TxnBegin(tx.id, t.ID())
+	}
+	t.Tick(2)
+	return tx
+}
+
+// Site implements tm.Txn.
+func (x *txn) Site(s string) tm.Txn { x.site = s; return x }
+
+// doom marks a victim transaction aborted; the requester always wins.
+func (x *txn) doom(kind tm.AbortKind, line mem.Line) {
+	if !x.doomed {
+		x.doomed = true
+		x.doomKind = kind
+		x.doomLine = line
+	}
+}
+
+// checkDoom unwinds the transaction (via the tm abort signal) if a
+// requester doomed it; used on the Read/Write paths.
+func (x *txn) checkDoom() {
+	if !x.doomed {
+		return
+	}
+	x.abortDoomed()
+	tm.SignalAbort(x.doomKind, x.doomLine)
+}
+
+// abortDoomed finalises a doomed transaction and returns its abort error;
+// used on the Commit path, which reports aborts as error values.
+func (x *txn) abortDoomed() error {
+	x.cleanup()
+	x.e.stats.Count(x.doomKind)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	return &tm.AbortError{Kind: x.doomKind, Line: x.doomLine}
+}
+
+// maybeInterrupt injects a periodic interrupt: a cache-buffered
+// transaction cannot survive the context switch and aborts (§4.3).
+func (x *txn) maybeInterrupt(line mem.Line) {
+	if x.e.cfg.InterruptPeriod <= 0 {
+		return
+	}
+	x.e.accessCount++
+	if x.e.accessCount%x.e.cfg.InterruptPeriod != 0 {
+		return
+	}
+	x.t.Tick(x.e.cfg.InterruptCost)
+	x.cleanup()
+	x.e.stats.Count(tm.AbortInterrupt)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	tm.SignalAbort(tm.AbortInterrupt, line)
+}
+
+// Read implements tm.Txn: a get-shared broadcast aborts any conflicting
+// writer ("requester wins"), then the line joins the read set.
+func (x *txn) Read(a mem.Addr) uint64 {
+	x.checkDoom()
+	line := mem.LineOf(a)
+	x.maybeInterrupt(line)
+	x.t.Tick(x.h.Access(line) + x.e.cfg.BroadcastCost)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnRead(x.id, a, x.site)
+	}
+	st := x.e.state(line)
+	if st.writer != nil && st.writer != x {
+		st.writer.doom(tm.AbortReadWrite, line)
+	}
+	st.readers[x] = struct{}{}
+	x.readSet[line] = struct{}{}
+	if v, ok := x.writeLog[a]; ok {
+		return v
+	}
+	return x.e.words[a]
+}
+
+// ReadPromoted implements tm.Txn; under 2PL it is an ordinary read.
+func (x *txn) ReadPromoted(a mem.Addr) uint64 { return x.Read(a) }
+
+// Write implements tm.Txn: a get-exclusive broadcast aborts every other
+// reader and writer of the line, then the store is logged.
+func (x *txn) Write(a mem.Addr, v uint64) {
+	x.checkDoom()
+	line := mem.LineOf(a)
+	x.maybeInterrupt(line)
+	x.t.Tick(x.h.Access(line) + x.e.cfg.BroadcastCost)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnWrite(x.id, a, x.site)
+	}
+	// Version-buffer overflow (§4.3): the L1-resident speculative state
+	// cannot exceed the buffer; the transaction aborts.
+	if n := x.e.cfg.VersionBufferLines; n > 0 {
+		if _, ok := x.writeSet[line]; !ok && len(x.writeSet) >= n {
+			x.cleanup()
+			x.e.stats.Count(tm.AbortCapacity)
+			if x.e.tracer != nil {
+				x.e.tracer.TxnAbort(x.id)
+			}
+			tm.SignalAbort(tm.AbortCapacity, line)
+		}
+	}
+	st := x.e.state(line)
+	if st.writer != nil && st.writer != x {
+		st.writer.doom(tm.AbortWriteWrite, line)
+	}
+	for r := range st.readers {
+		if r != x {
+			r.doom(tm.AbortReadWrite, line)
+		}
+	}
+	st.writer = x
+	if _, ok := x.writeSet[line]; !ok {
+		x.writeSet[line] = struct{}{}
+		x.writeOrder = append(x.writeOrder, line)
+	}
+	x.writeLog[a] = v
+}
+
+// cleanup removes the transaction from every line state.
+func (x *txn) cleanup() {
+	for line := range x.readSet {
+		if st := x.e.lines[line]; st != nil {
+			delete(st.readers, x)
+		}
+	}
+	for line := range x.writeSet {
+		if st := x.e.lines[line]; st != nil && st.writer == x {
+			st.writer = nil
+		}
+	}
+	x.finished = true
+}
+
+// Abort implements tm.Txn: read and write logs are discarded and the
+// transaction restarts in software (§6.1).
+func (x *txn) Abort() {
+	if x.finished {
+		return
+	}
+	x.cleanup()
+	x.e.stats.Count(tm.AbortExplicit)
+	if x.e.tracer != nil {
+		x.e.tracer.TxnAbort(x.id)
+	}
+	x.t.Tick(2)
+}
+
+// Commit implements tm.Txn: the thread obtains the commit token, iterates
+// over its write log and commits the speculative writes to main memory
+// (§6.1).
+func (x *txn) Commit() error {
+	if x.finished {
+		panic("twopl: Commit on finished transaction")
+	}
+	if x.doomed {
+		return x.abortDoomed()
+	}
+	if len(x.writeLog) == 0 {
+		x.cleanup()
+		x.e.stats.Commits++
+		x.e.stats.ReadOnly++
+		if x.e.tracer != nil {
+			x.e.tracer.TxnCommit(x.id)
+		}
+		x.t.Tick(2)
+		return nil
+	}
+	for x.e.commitBusy {
+		x.e.stats.Stalls++
+		x.t.Stall()
+		if x.doomed {
+			return x.abortDoomed()
+		}
+	}
+	x.e.commitBusy = true
+	x.t.Tick(x.e.cfg.CommitOverhead)
+	if x.doomed { // a requester may have doomed us while ticking
+		x.e.commitBusy = false
+		x.t.WakeAll()
+		return x.abortDoomed()
+	}
+	for a, v := range x.writeLog {
+		x.e.words[a] = v
+	}
+	for _, line := range x.writeOrder {
+		x.t.Tick(x.h.Access(line))
+		for id, h := range x.e.hier {
+			if id != x.t.ID() {
+				h.Invalidate(line)
+			}
+		}
+	}
+	x.e.commitBusy = false
+	x.cleanup()
+	x.e.stats.Commits++
+	if x.e.tracer != nil {
+		x.e.tracer.TxnCommit(x.id)
+	}
+	x.t.WakeAll()
+	return nil
+}

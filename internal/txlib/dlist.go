@@ -1,0 +1,143 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// DList is a sorted doubly linked list — the second container in which the
+// paper's tool found write-skew anomalies (§5.1). Like List, removal has a
+// safe mode (null the victim's links, forcing write-write conflicts on
+// adjacent removes) and an unsafe mode reproducing the anomaly.
+//
+// Node layout (one cache line): key, value, next, prev.
+const (
+	dKey = iota
+	dVal
+	dNext
+	dPrev
+	dFields
+)
+
+// DList is a transactional sorted doubly linked list.
+type DList struct {
+	m    *Mem
+	head mem.Addr // sentinel
+	tail mem.Addr // sentinel
+	// UnsafeRemove reproduces the write-skew-prone removal.
+	UnsafeRemove bool
+}
+
+// Site labels for the write-skew tool.
+const (
+	SiteDListTraverse = "dlist.traverse"
+	SiteDListInsert   = "dlist.insert"
+	SiteDListRemove   = "dlist.remove"
+	SiteDListUnlink   = "dlist.remove:unlink"
+)
+
+// NewDList creates an empty list with head/tail sentinels.
+func NewDList(m *Mem) *DList {
+	l := &DList{m: m, head: m.allocNode(dFields), tail: m.allocNode(dFields)}
+	e := m.E
+	e.NonTxWrite(field(l.head, dNext), uint64(l.tail))
+	e.NonTxWrite(field(l.head, dPrev), nilPtr)
+	e.NonTxWrite(field(l.tail, dPrev), uint64(l.head))
+	e.NonTxWrite(field(l.tail, dNext), nilPtr)
+	return l
+}
+
+// find returns the first node with key >= k (possibly the tail sentinel).
+func (l *DList) find(tx tm.Txn, k uint64) mem.Addr {
+	tx.Site(SiteDListTraverse)
+	cur := mem.Addr(tx.Read(field(l.head, dNext)))
+	for cur != l.tail && tx.Read(field(cur, dKey)) < k {
+		cur = mem.Addr(tx.Read(field(cur, dNext)))
+	}
+	return cur
+}
+
+// Insert adds k/v in sorted position; false if k exists.
+func (l *DList) Insert(tx tm.Txn, k, v uint64) bool {
+	at := l.find(tx, k)
+	if at != l.tail && tx.Read(field(at, dKey)) == k {
+		return false
+	}
+	tx.Site(SiteDListInsert)
+	prev := mem.Addr(tx.Read(field(at, dPrev)))
+	n := l.m.allocNode(dFields)
+	tx.Write(field(n, dKey), k)
+	tx.Write(field(n, dVal), v)
+	tx.Write(field(n, dNext), uint64(at))
+	tx.Write(field(n, dPrev), uint64(prev))
+	tx.Write(field(prev, dNext), uint64(n))
+	tx.Write(field(at, dPrev), uint64(n))
+	return true
+}
+
+// Remove deletes k, reporting whether it was present.
+func (l *DList) Remove(tx tm.Txn, k uint64) bool {
+	at := l.find(tx, k)
+	if at == l.tail || tx.Read(field(at, dKey)) != k {
+		return false
+	}
+	tx.Site(SiteDListRemove)
+	prev := mem.Addr(tx.Read(field(at, dPrev)))
+	next := mem.Addr(tx.Read(field(at, dNext)))
+	tx.Write(field(prev, dNext), uint64(next))
+	tx.Write(field(next, dPrev), uint64(prev))
+	if !l.UnsafeRemove {
+		tx.Site(SiteDListUnlink)
+		tx.Write(field(at, dNext), nilPtr)
+		tx.Write(field(at, dPrev), nilPtr)
+	}
+	return true
+}
+
+// Contains reports whether k is present.
+func (l *DList) Contains(tx tm.Txn, k uint64) bool {
+	at := l.find(tx, k)
+	return at != l.tail && tx.Read(field(at, dKey)) == k
+}
+
+// Keys returns the keys in order.
+func (l *DList) Keys(tx tm.Txn) []uint64 {
+	tx.Site(SiteDListTraverse)
+	var out []uint64
+	cur := mem.Addr(tx.Read(field(l.head, dNext)))
+	for cur != l.tail {
+		out = append(out, tx.Read(field(cur, dKey)))
+		cur = mem.Addr(tx.Read(field(cur, dNext)))
+	}
+	return out
+}
+
+// CheckConsistent verifies forward/backward link agreement outside any
+// transaction; it returns an empty string when consistent.
+func (l *DList) CheckConsistent() string {
+	e := l.m.E
+	prev := l.head
+	cur := mem.Addr(e.NonTxRead(field(l.head, dNext)))
+	for cur != nilPtr && cur != l.tail {
+		if mem.Addr(e.NonTxRead(field(cur, dPrev))) != prev {
+			return "prev link does not match forward traversal"
+		}
+		prev = cur
+		cur = mem.Addr(e.NonTxRead(field(cur, dNext)))
+	}
+	if cur == nilPtr {
+		return "forward chain broken (nil before tail sentinel)"
+	}
+	if mem.Addr(e.NonTxRead(field(l.tail, dPrev))) != prev {
+		return "tail prev does not match last node"
+	}
+	return ""
+}
+
+// SeedNonTx inserts keys (value=key) without a transaction.
+func (l *DList) SeedNonTx(keys []uint64) {
+	sh := nonTxShim{e: l.m.E}
+	for _, k := range keys {
+		l.Insert(sh, k, k)
+	}
+}

@@ -1,0 +1,83 @@
+package txlib_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// Example demonstrates the basic pattern: build an engine, allocate
+// transactional structures, and run transactions on simulated threads.
+func Example() {
+	engine := core.New(core.DefaultConfig())
+	m := txlib.NewMem(engine)
+	list := txlib.NewList(m)
+
+	machine := sched.New(2, 7)
+	machine.Run(func(th *sched.Thread) {
+		for i := 0; i < 5; i++ {
+			k := uint64(th.ID()*10 + i + 1)
+			_ = tm.Atomic(engine, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+				list.Insert(tx, k, k)
+				return nil
+			})
+		}
+	})
+	fmt.Println("keys:", list.KeysNonTx())
+	// Output:
+	// keys: [1 2 3 4 5 11 12 13 14 15]
+}
+
+// ExampleRBTree shows lookups and updates on the red-black tree with the
+// read promotion the paper's tool applies to its update paths.
+func ExampleRBTree() {
+	engine := core.New(core.DefaultConfig())
+	engine.Promote(txlib.SiteRBInsert)
+	engine.Promote(txlib.SiteRBDelete)
+	engine.Promote(txlib.SiteRBFixup)
+	m := txlib.NewMem(engine)
+	tree := txlib.NewRBTree(m)
+
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		_ = tm.Atomic(engine, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+			for _, k := range []uint64{30, 10, 20} {
+				tree.Insert(tx, k, k*100)
+			}
+			return nil
+		})
+		_ = tm.Atomic(engine, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+			v, ok := tree.Lookup(tx, 20)
+			fmt.Println("lookup 20:", v, ok)
+			fmt.Println("sorted:", tree.Keys(tx))
+			return nil
+		})
+	})
+	// Output:
+	// lookup 20: 2000 true
+	// sorted: [10 20 30]
+}
+
+// ExampleQueue shows FIFO semantics through transactions.
+func ExampleQueue() {
+	engine := core.New(core.DefaultConfig())
+	m := txlib.NewMem(engine)
+	q := txlib.NewQueue(m)
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		_ = tm.Atomic(engine, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+			q.Push(tx, 1)
+			q.Push(tx, 2)
+			return nil
+		})
+		_ = tm.Atomic(engine, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+			a, _ := q.Pop(tx)
+			b, _ := q.Pop(tx)
+			fmt.Println(a, b)
+			return nil
+		})
+	})
+	// Output:
+	// 1 2
+}

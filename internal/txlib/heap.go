@@ -1,0 +1,107 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Heap is a transactional binary max-heap backed by a padded array, used
+// as the task priority queue of the bayes kernel. The size word is a
+// deliberate write hot spot: every push/pop updates it, so concurrent heap
+// updates are genuine write-write conflicts under every TM flavour.
+type Heap struct {
+	m    *Mem
+	size mem.Addr // one-word cell on its own line
+	arr  *Vector
+	cap  int
+}
+
+// Site labels for the write-skew tool.
+const (
+	SiteHeapPush = "heap.push"
+	SiteHeapPop  = "heap.pop"
+)
+
+// NewHeap creates an empty heap with fixed capacity.
+func NewHeap(m *Mem, capacity int) *Heap {
+	h := &Heap{m: m, size: m.allocNode(1), cap: capacity}
+	h.arr = NewVector(m, capacity, true)
+	m.E.NonTxWrite(h.size, 0)
+	return h
+}
+
+// Len returns the current element count.
+func (h *Heap) Len(tx tm.Txn) int {
+	return int(tx.Read(h.size))
+}
+
+// Push inserts v; it reports false when the heap is full.
+func (h *Heap) Push(tx tm.Txn, v uint64) bool {
+	tx.Site(SiteHeapPush)
+	n := int(tx.Read(h.size))
+	if n >= h.cap {
+		return false
+	}
+	i := n
+	h.arr.Set(tx, i, v)
+	for i > 0 {
+		parent := (i - 1) / 2
+		pv := h.arr.Get(tx, parent)
+		if pv >= v {
+			break
+		}
+		h.arr.Set(tx, i, pv)
+		h.arr.Set(tx, parent, v)
+		i = parent
+	}
+	tx.Write(h.size, uint64(n+1))
+	return true
+}
+
+// Pop removes and returns the maximum element.
+func (h *Heap) Pop(tx tm.Txn) (uint64, bool) {
+	tx.Site(SiteHeapPop)
+	n := int(tx.Read(h.size))
+	if n == 0 {
+		return 0, false
+	}
+	top := h.arr.Get(tx, 0)
+	last := h.arr.Get(tx, n-1)
+	tx.Write(h.size, uint64(n-1))
+	n--
+	if n == 0 {
+		return top, true
+	}
+	i := 0
+	h.arr.Set(tx, 0, last)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		lv := last
+		if l < n {
+			if cv := h.arr.Get(tx, l); cv > lv {
+				largest, lv = l, cv
+			}
+		}
+		if r < n {
+			if cv := h.arr.Get(tx, r); cv > lv {
+				largest, lv = r, cv
+			}
+		}
+		if largest == i {
+			break
+		}
+		h.arr.Set(tx, largest, last)
+		h.arr.Set(tx, i, lv)
+		i = largest
+	}
+	return top, true
+}
+
+// SeedNonTx pushes values without a transaction.
+func (h *Heap) SeedNonTx(vals []uint64) {
+	sh := nonTxShim{e: h.m.E}
+	for _, v := range vals {
+		h.Push(sh, v)
+	}
+}

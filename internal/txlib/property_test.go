@@ -1,0 +1,291 @@
+package txlib
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// These property tests check each container against a pure-Go model under
+// randomized single-threaded operation sequences (semantics) and under
+// randomized concurrent mixes (structural invariants), complementing the
+// example-based tests in txlib_test.go.
+
+func TestHashtableMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint32, seed uint64) bool {
+		model := map[uint64]uint64{}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			h := NewHashtable(m, 8) // few buckets: long chains
+			for _, op := range ops {
+				k := uint64(op % 50)
+				v := uint64(op >> 8)
+				atomic(m, th, func(tx tm.Txn) error {
+					switch op % 4 {
+					case 0:
+						_, had := model[k]
+						if h.Insert(tx, k, v) == had {
+							ok = false
+						}
+						if !had {
+							model[k] = v
+						}
+					case 1:
+						h.Set(tx, k, v)
+						model[k] = v
+					case 2:
+						_, had := model[k]
+						if h.Remove(tx, k) != had {
+							ok = false
+						}
+						delete(model, k)
+					default:
+						got, found := h.Get(tx, k)
+						want, has := model[k]
+						if found != has || (found && got != want) {
+							ok = false
+						}
+					}
+					return nil
+				})
+				if !ok {
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashtableAddMatchesModelProperty(t *testing.T) {
+	f := func(deltas []uint8, seed uint64) bool {
+		model := map[uint64]uint64{}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			h := NewHashtable(m, 4)
+			for i, d := range deltas {
+				k := uint64(i % 7)
+				atomic(m, th, func(tx tm.Txn) error {
+					got := h.Add(tx, k, uint64(d))
+					model[k] += uint64(d)
+					if got != model[k] {
+						ok = false
+					}
+					return nil
+				})
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		var model []uint64
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			q := NewQueue(m)
+			for _, op := range ops {
+				atomic(m, th, func(tx tm.Txn) error {
+					if op%3 != 0 {
+						q.Push(tx, uint64(op))
+						model = append(model, uint64(op))
+						return nil
+					}
+					v, got := q.Pop(tx)
+					if len(model) == 0 {
+						if got {
+							ok = false
+						}
+						return nil
+					}
+					if !got || v != model[0] {
+						ok = false
+					}
+					model = model[1:]
+					return nil
+				})
+			}
+			// Drain and compare the remainder.
+			atomic(m, th, func(tx tm.Txn) error {
+				for _, want := range model {
+					v, got := q.Pop(tx)
+					if !got || v != want {
+						ok = false
+					}
+				}
+				if _, got := q.Pop(tx); got {
+					ok = false
+				}
+				return nil
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDListMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		model := map[uint64]bool{}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			l := NewDList(m)
+			for _, op := range ops {
+				k := uint64(1 + op%40)
+				atomic(m, th, func(tx tm.Txn) error {
+					switch op % 3 {
+					case 0:
+						if l.Insert(tx, k, k) == model[k] {
+							ok = false
+						}
+						model[k] = true
+					case 1:
+						if l.Remove(tx, k) != model[k] {
+							ok = false
+						}
+						delete(model, k)
+					default:
+						if l.Contains(tx, k) != model[k] {
+							ok = false
+						}
+					}
+					return nil
+				})
+			}
+			if msg := l.CheckConsistent(); msg != "" {
+				ok = false
+			}
+			// Keys must be the sorted model.
+			var want []uint64
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			atomic(m, th, func(tx tm.Txn) error {
+				got := l.Keys(tx)
+				if len(got) != len(want) {
+					ok = false
+					return nil
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						ok = false
+					}
+				}
+				return nil
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorMatchesModelProperty(t *testing.T) {
+	f := func(writes []uint32, padded bool, seed uint64) bool {
+		const n = 16
+		model := make([]uint64, n)
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			v := NewVector(m, n, padded)
+			for _, w := range writes {
+				i := int(w % n)
+				val := uint64(w >> 4)
+				atomic(m, th, func(tx tm.Txn) error {
+					v.Set(tx, i, val)
+					model[i] = val
+					if v.Get(tx, i) != val {
+						ok = false
+					}
+					return nil
+				})
+			}
+			var want uint64
+			for _, x := range model {
+				want += x
+			}
+			if v.SumNonTx() != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapConcurrentNoLossNoDuplication(t *testing.T) {
+	// Concurrent pushers and poppers: every popped value was pushed,
+	// and pushes+pops balance.
+	m := run(1, 1, func(m *Mem, th *sched.Thread) {})
+	h := NewHeap(m, 1024)
+	pushed := make(map[uint64]int)
+	popped := make(map[uint64]int)
+	s := sched.New(6, 23)
+	s.Run(func(th *sched.Thread) {
+		r := th.Rand()
+		for i := 0; i < 25; i++ {
+			if r.Intn(2) == 0 {
+				v := uint64(th.ID())<<32 | uint64(i+1)
+				atomic(m, th, func(tx tm.Txn) error {
+					if h.Push(tx, v) {
+						return nil
+					}
+					return nil
+				})
+				pushed[v]++
+			} else {
+				var v uint64
+				var got bool
+				atomic(m, th, func(tx tm.Txn) error {
+					v, got = h.Pop(tx)
+					return nil
+				})
+				if got {
+					popped[v]++
+				}
+			}
+		}
+	})
+	for v, n := range popped {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+		if pushed[v] != 1 {
+			t.Fatalf("popped phantom value %d", v)
+		}
+	}
+	// Drain: the remainder must be exactly pushed - popped.
+	var remaining int
+	sched.New(1, 1).Run(func(th *sched.Thread) {
+		atomic(m, th, func(tx tm.Txn) error {
+			for {
+				v, ok := h.Pop(tx)
+				if !ok {
+					return nil
+				}
+				remaining++
+				if pushed[v] != 1 || popped[v] != 0 {
+					t.Errorf("drained unexpected value %d", v)
+				}
+			}
+		})
+	})
+	if remaining != len(pushed)-len(popped) {
+		t.Fatalf("remaining = %d, want %d", remaining, len(pushed)-len(popped))
+	}
+}

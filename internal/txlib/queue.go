@@ -1,0 +1,83 @@
+package txlib
+
+import (
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Queue is a transactional FIFO queue (linked nodes with head/tail
+// pointers on separate cache lines), the work-distribution structure of
+// the intruder kernel. Concurrent dequeues conflict on the head pointer —
+// a genuine write-write conflict every TM flavour must abort on.
+//
+// Node layout: value, next.
+const (
+	qVal = iota
+	qNext
+	qFields
+)
+
+// Queue is a transactional FIFO queue.
+type Queue struct {
+	m    *Mem
+	head mem.Addr // one-word cell on its own line
+	tail mem.Addr // one-word cell on its own line
+}
+
+// Site labels for the write-skew tool.
+const (
+	SiteQueuePush = "queue.push"
+	SiteQueuePop  = "queue.pop"
+)
+
+// NewQueue creates an empty queue.
+func NewQueue(m *Mem) *Queue {
+	q := &Queue{m: m, head: m.allocNode(1), tail: m.allocNode(1)}
+	m.E.NonTxWrite(q.head, nilPtr)
+	m.E.NonTxWrite(q.tail, nilPtr)
+	return q
+}
+
+// Push appends v.
+func (q *Queue) Push(tx tm.Txn, v uint64) {
+	tx.Site(SiteQueuePush)
+	n := q.m.allocNode(qFields)
+	tx.Write(field(n, qVal), v)
+	tx.Write(field(n, qNext), nilPtr)
+	tail := mem.Addr(tx.Read(q.tail))
+	if tail == nilPtr {
+		tx.Write(q.head, uint64(n))
+	} else {
+		tx.Write(field(tail, qNext), uint64(n))
+	}
+	tx.Write(q.tail, uint64(n))
+}
+
+// Pop removes and returns the oldest element.
+func (q *Queue) Pop(tx tm.Txn) (uint64, bool) {
+	tx.Site(SiteQueuePop)
+	head := mem.Addr(tx.Read(q.head))
+	if head == nilPtr {
+		return 0, false
+	}
+	v := tx.Read(field(head, qVal))
+	next := tx.Read(field(head, qNext))
+	tx.Write(q.head, next)
+	if next == nilPtr {
+		tx.Write(q.tail, nilPtr)
+	}
+	return v, true
+}
+
+// Empty reports whether the queue has no elements.
+func (q *Queue) Empty(tx tm.Txn) bool {
+	return mem.Addr(tx.Read(q.head)) == nilPtr
+}
+
+// SeedNonTx pushes values without a transaction.
+func (q *Queue) SeedNonTx(vals []uint64) {
+	sh := nonTxShim{e: q.m.E}
+	for _, v := range vals {
+		q.Push(sh, v)
+	}
+}

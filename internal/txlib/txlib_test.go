@@ -1,0 +1,644 @@
+package txlib
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// run executes body with a fresh SI-TM engine on n logical threads.
+func run(n int, seed uint64, body func(m *Mem, th *sched.Thread)) *Mem {
+	e := core.New(core.DefaultConfig())
+	m := NewMem(e)
+	s := sched.New(n, seed)
+	s.Run(func(th *sched.Thread) { body(m, th) })
+	return m
+}
+
+// atomic is a short-hand Atomic with default backoff.
+func atomic(m *Mem, th *sched.Thread, body func(tx tm.Txn) error) {
+	if err := tm.Atomic(m.E, th, tm.DefaultBackoff(), body); err != nil {
+		panic(err)
+	}
+}
+
+func TestListInsertContainsRemove(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		l := NewList(m)
+		atomic(m, th, func(tx tm.Txn) error {
+			if !l.Insert(tx, 5, 50) || !l.Insert(tx, 3, 30) || !l.Insert(tx, 9, 90) {
+				t.Error("insert failed")
+			}
+			if l.Insert(tx, 5, 55) {
+				t.Error("duplicate insert succeeded")
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if !l.Contains(tx, 3) || !l.Contains(tx, 5) || !l.Contains(tx, 9) || l.Contains(tx, 4) {
+				t.Error("contains wrong")
+			}
+			if v, ok := l.Get(tx, 5); !ok || v != 50 {
+				t.Errorf("Get(5) = %d,%v", v, ok)
+			}
+			if got := l.Keys(tx); len(got) != 3 || got[0] != 3 || got[1] != 5 || got[2] != 9 {
+				t.Errorf("keys = %v", got)
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if !l.Remove(tx, 5) {
+				t.Error("remove failed")
+			}
+			if l.Remove(tx, 5) {
+				t.Error("double remove succeeded")
+			}
+			if l.Len(tx) != 2 {
+				t.Errorf("len = %d", l.Len(tx))
+			}
+			return nil
+		})
+	})
+}
+
+func TestListSeedNonTx(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		l := NewList(m)
+		l.SeedNonTx([]uint64{7, 2, 2, 5})
+		got := l.KeysNonTx()
+		if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 7 {
+			t.Errorf("seeded keys = %v", got)
+		}
+	})
+}
+
+func TestListMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		model := map[uint64]bool{}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			l := NewList(m)
+			for _, op := range ops {
+				k := uint64(op % 64)
+				atomic(m, th, func(tx tm.Txn) error {
+					switch op % 3 {
+					case 0:
+						if l.Insert(tx, k, k) == model[k] {
+							ok = false
+						}
+						model[k] = true
+					case 1:
+						if l.Remove(tx, k) != model[k] {
+							ok = false
+						}
+						delete(model, k)
+					default:
+						if l.Contains(tx, k) != model[k] {
+							ok = false
+						}
+					}
+					return nil
+				})
+			}
+			// Final contents must match the model, sorted.
+			var want []uint64
+			for k := range model {
+				want = append(want, k)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			got := l.KeysNonTx()
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListConcurrentSetSemantics(t *testing.T) {
+	// Concurrent inserts/removes across threads must preserve set
+	// semantics: no duplicates, sorted order.
+	m := run(8, 42, func(m *Mem, th *sched.Thread) {})
+	l := NewList(m)
+	var keys []uint64
+	for i := uint64(1); i <= 50; i++ {
+		keys = append(keys, i*2)
+	}
+	l.SeedNonTx(keys)
+	s := sched.New(8, 7)
+	s.Run(func(th *sched.Thread) {
+		for i := 0; i < 40; i++ {
+			k := uint64(1 + th.Rand().Intn(100))
+			atomic(m, th, func(tx tm.Txn) error {
+				if th.Rand().Intn(2) == 0 {
+					l.Insert(tx, k, k)
+				} else {
+					l.Remove(tx, k)
+				}
+				return nil
+			})
+		}
+	})
+	got := l.KeysNonTx()
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("keys not strictly sorted at %d: %v", i, got)
+		}
+	}
+}
+
+func TestRBTreeBasic(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		tr := NewRBTree(m)
+		atomic(m, th, func(tx tm.Txn) error {
+			for _, k := range []uint64{10, 5, 15, 3, 8, 12, 20} {
+				if !tr.Insert(tx, k, k*10) {
+					t.Errorf("insert %d failed", k)
+				}
+			}
+			if tr.Insert(tx, 10, 1) {
+				t.Error("duplicate insert succeeded")
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if v, ok := tr.Lookup(tx, 8); !ok || v != 80 {
+				t.Errorf("Lookup(8) = %d,%v", v, ok)
+			}
+			if _, ok := tr.Lookup(tx, 9); ok {
+				t.Error("Lookup(9) found phantom")
+			}
+			if msg := tr.CheckInvariants(tx); msg != "" {
+				t.Errorf("invariants: %s", msg)
+			}
+			ks := tr.Keys(tx)
+			if len(ks) != 7 || !sort.SliceIsSorted(ks, func(i, j int) bool { return ks[i] < ks[j] }) {
+				t.Errorf("keys = %v", ks)
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			for _, k := range []uint64{10, 3, 20} {
+				if !tr.Delete(tx, k) {
+					t.Errorf("delete %d failed", k)
+				}
+			}
+			if tr.Delete(tx, 10) {
+				t.Error("double delete succeeded")
+			}
+			if msg := tr.CheckInvariants(tx); msg != "" {
+				t.Errorf("invariants after delete: %s", msg)
+			}
+			return nil
+		})
+	})
+}
+
+func TestRBTreeMatchesModelProperty(t *testing.T) {
+	f := func(ops []uint16, seed uint64) bool {
+		model := map[uint64]uint64{}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			tr := NewRBTree(m)
+			for _, op := range ops {
+				k := uint64(op % 97)
+				atomic(m, th, func(tx tm.Txn) error {
+					switch op % 3 {
+					case 0:
+						_, had := model[k]
+						if tr.Insert(tx, k, k+1) == had {
+							ok = false
+						}
+						if !had {
+							model[k] = k + 1
+						}
+					case 1:
+						_, had := model[k]
+						if tr.Delete(tx, k) != had {
+							ok = false
+						}
+						delete(model, k)
+					default:
+						v, got := tr.Lookup(tx, k)
+						wv, want := model[k]
+						if got != want || (got && v != wv) {
+							ok = false
+						}
+					}
+					if msg := tr.CheckInvariants(tx); msg != "" {
+						t.Logf("invariant violation: %s", msg)
+						ok = false
+					}
+					return nil
+				})
+				if !ok {
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRBTreeLargeSequential(t *testing.T) {
+	run(1, 3, func(m *Mem, th *sched.Thread) {
+		tr := NewRBTree(m)
+		r := sched.NewRand(5)
+		present := map[uint64]bool{}
+		for i := 0; i < 400; i++ {
+			k := r.Uint64() % 1000
+			atomic(m, th, func(tx tm.Txn) error {
+				if r.Intn(3) != 0 {
+					tr.Insert(tx, k, k)
+					present[k] = true
+				} else {
+					tr.Delete(tx, k)
+					delete(present, k)
+				}
+				return nil
+			})
+		}
+		atomic(m, th, func(tx tm.Txn) error {
+			if msg := tr.CheckInvariants(tx); msg != "" {
+				t.Errorf("invariants: %s", msg)
+			}
+			ks := tr.Keys(tx)
+			if len(ks) != len(present) {
+				t.Errorf("size = %d, want %d", len(ks), len(present))
+			}
+			return nil
+		})
+	})
+}
+
+func TestRBTreeConcurrent(t *testing.T) {
+	m := run(1, 1, func(m *Mem, th *sched.Thread) {})
+	// Concurrent tree updates under snapshot isolation require the
+	// §5.1 repair — read promotion on the update paths — or rebalances
+	// with disjoint write sets corrupt the structure (the paper found
+	// "multiple write skews in a Red-Black Tree implementation").
+	m.E.Promote(SiteRBInsert)
+	m.E.Promote(SiteRBDelete)
+	m.E.Promote(SiteRBFixup)
+	tr := NewRBTree(m)
+	var seed []uint64
+	for i := uint64(0); i < 100; i++ {
+		seed = append(seed, i*3)
+	}
+	tr.SeedNonTx(seed)
+	s := sched.New(8, 9)
+	s.Run(func(th *sched.Thread) {
+		for i := 0; i < 30; i++ {
+			k := uint64(th.Rand().Intn(300))
+			atomic(m, th, func(tx tm.Txn) error {
+				switch th.Rand().Intn(4) {
+				case 0:
+					tr.Insert(tx, k, k)
+				case 1:
+					tr.Delete(tx, k)
+				default:
+					tr.Contains(tx, k)
+				}
+				return nil
+			})
+		}
+	})
+	// The final tree must satisfy every red-black invariant.
+	s2 := sched.New(1, 1)
+	s2.Run(func(th *sched.Thread) {
+		atomic(m, th, func(tx tm.Txn) error {
+			if msg := tr.CheckInvariants(tx); msg != "" {
+				t.Errorf("invariants after concurrency: %s", msg)
+			}
+			return nil
+		})
+	})
+}
+
+func TestHashtable(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		h := NewHashtable(m, 16)
+		atomic(m, th, func(tx tm.Txn) error {
+			for i := uint64(0); i < 40; i++ {
+				if !h.Insert(tx, i, i*2) {
+					t.Errorf("insert %d failed", i)
+				}
+			}
+			if h.Insert(tx, 7, 1) {
+				t.Error("duplicate insert succeeded")
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			for i := uint64(0); i < 40; i++ {
+				if v, ok := h.Get(tx, i); !ok || v != i*2 {
+					t.Errorf("Get(%d) = %d,%v", i, v, ok)
+				}
+			}
+			if _, ok := h.Get(tx, 99); ok {
+				t.Error("phantom key")
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if !h.Remove(tx, 7) || h.Remove(tx, 7) {
+				t.Error("remove semantics wrong")
+			}
+			if h.Contains(tx, 7) {
+				t.Error("removed key still present")
+			}
+			h.Set(tx, 8, 99)
+			if v, _ := h.Get(tx, 8); v != 99 {
+				t.Error("Set did not update")
+			}
+			if got := h.Add(tx, 8, 1); got != 100 {
+				t.Errorf("Add = %d, want 100", got)
+			}
+			if got := h.Add(tx, 1000, 5); got != 5 {
+				t.Errorf("Add new = %d, want 5", got)
+			}
+			return nil
+		})
+	})
+}
+
+func TestHashtableConcurrentDisjoint(t *testing.T) {
+	// Disjoint keys across threads must not conflict at all under SI
+	// when bucket count is large (padded buckets).
+	e := core.New(core.DefaultConfig())
+	m := NewMem(e)
+	h := NewHashtable(m, 256)
+	s := sched.New(4, 11)
+	s.Run(func(th *sched.Thread) {
+		base := uint64(th.ID()) * 1000
+		for i := uint64(0); i < 25; i++ {
+			atomic(m, th, func(tx tm.Txn) error {
+				h.Insert(tx, base+i, i)
+				return nil
+			})
+		}
+	})
+	if got := e.Stats().Commits; got != 100 {
+		t.Fatalf("commits = %d, want 100", got)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		q := NewQueue(m)
+		atomic(m, th, func(tx tm.Txn) error {
+			if !q.Empty(tx) {
+				t.Error("new queue not empty")
+			}
+			for i := uint64(1); i <= 5; i++ {
+				q.Push(tx, i)
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			for i := uint64(1); i <= 5; i++ {
+				v, ok := q.Pop(tx)
+				if !ok || v != i {
+					t.Errorf("pop = %d,%v want %d", v, ok, i)
+				}
+			}
+			if _, ok := q.Pop(tx); ok {
+				t.Error("pop from empty succeeded")
+			}
+			return nil
+		})
+	})
+}
+
+func TestQueueConcurrentDrain(t *testing.T) {
+	m := run(1, 1, func(m *Mem, th *sched.Thread) {})
+	q := NewQueue(m)
+	var vals []uint64
+	for i := uint64(1); i <= 64; i++ {
+		vals = append(vals, i)
+	}
+	q.SeedNonTx(vals)
+	seen := map[uint64]int{}
+	s := sched.New(4, 13)
+	s.Run(func(th *sched.Thread) {
+		for {
+			var v uint64
+			var ok bool
+			atomic(m, th, func(tx tm.Txn) error {
+				v, ok = q.Pop(tx)
+				return nil
+			})
+			if !ok {
+				return
+			}
+			seen[v]++
+		}
+	})
+	if len(seen) != 64 {
+		t.Fatalf("drained %d distinct values, want 64", len(seen))
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Fatalf("value %d popped %d times", v, n)
+		}
+	}
+}
+
+func TestHeapOrdering(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		h := NewHeap(m, 64)
+		input := []uint64{5, 1, 9, 3, 7, 2, 8}
+		atomic(m, th, func(tx tm.Txn) error {
+			for _, v := range input {
+				if !h.Push(tx, v) {
+					t.Errorf("push %d failed", v)
+				}
+			}
+			return nil
+		})
+		want := []uint64{9, 8, 7, 5, 3, 2, 1}
+		atomic(m, th, func(tx tm.Txn) error {
+			for _, w := range want {
+				v, ok := h.Pop(tx)
+				if !ok || v != w {
+					t.Errorf("pop = %d,%v want %d", v, ok, w)
+				}
+			}
+			if _, ok := h.Pop(tx); ok {
+				t.Error("pop from empty succeeded")
+			}
+			return nil
+		})
+	})
+}
+
+func TestHeapCapacity(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		h := NewHeap(m, 2)
+		atomic(m, th, func(tx tm.Txn) error {
+			if !h.Push(tx, 1) || !h.Push(tx, 2) {
+				t.Error("push failed")
+			}
+			if h.Push(tx, 3) {
+				t.Error("push past capacity succeeded")
+			}
+			return nil
+		})
+	})
+}
+
+func TestHeapPropertyMatchesSort(t *testing.T) {
+	f := func(vals []uint16, seed uint64) bool {
+		if len(vals) > 60 {
+			vals = vals[:60]
+		}
+		ok := true
+		run(1, seed, func(m *Mem, th *sched.Thread) {
+			h := NewHeap(m, 64)
+			atomic(m, th, func(tx tm.Txn) error {
+				for _, v := range vals {
+					h.Push(tx, uint64(v))
+				}
+				return nil
+			})
+			sorted := make([]uint64, len(vals))
+			for i, v := range vals {
+				sorted[i] = uint64(v)
+			}
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+			atomic(m, th, func(tx tm.Txn) error {
+				for _, w := range sorted {
+					v, o := h.Pop(tx)
+					if !o || v != w {
+						ok = false
+					}
+				}
+				return nil
+			})
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorPaddedVsPacked(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		padded := NewVector(m, 10, true)
+		packed := NewVector(m, 10, false)
+		if padded.Addr(1)-padded.Addr(0) != 64 {
+			t.Error("padded stride must be one line")
+		}
+		if packed.Addr(1)-packed.Addr(0) != 8 {
+			t.Error("packed stride must be one word")
+		}
+		atomic(m, th, func(tx tm.Txn) error {
+			for i := 0; i < 10; i++ {
+				padded.Set(tx, i, uint64(i))
+				packed.Set(tx, i, uint64(i*2))
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if padded.Sum(tx) != 45 || packed.Sum(tx) != 90 {
+				t.Errorf("sums = %d,%d", padded.Sum(tx), packed.Sum(tx))
+			}
+			if padded.Add(tx, 3, 7) != 10 {
+				t.Error("Add wrong")
+			}
+			return nil
+		})
+		if padded.SumNonTx() != 52 {
+			t.Errorf("SumNonTx = %d", padded.SumNonTx())
+		}
+	})
+}
+
+func TestVectorBoundsPanic(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		v := NewVector(m, 3, true)
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		v.Addr(3)
+	})
+}
+
+func TestDListBasic(t *testing.T) {
+	run(1, 1, func(m *Mem, th *sched.Thread) {
+		l := NewDList(m)
+		atomic(m, th, func(tx tm.Txn) error {
+			for _, k := range []uint64{5, 1, 3} {
+				if !l.Insert(tx, k, k) {
+					t.Errorf("insert %d", k)
+				}
+			}
+			if l.Insert(tx, 3, 0) {
+				t.Error("dup insert")
+			}
+			ks := l.Keys(tx)
+			if len(ks) != 3 || ks[0] != 1 || ks[1] != 3 || ks[2] != 5 {
+				t.Errorf("keys = %v", ks)
+			}
+			return nil
+		})
+		atomic(m, th, func(tx tm.Txn) error {
+			if !l.Remove(tx, 3) || l.Remove(tx, 3) {
+				t.Error("remove semantics")
+			}
+			if !l.Contains(tx, 5) || l.Contains(tx, 3) {
+				t.Error("contains wrong")
+			}
+			return nil
+		})
+		if msg := l.CheckConsistent(); msg != "" {
+			t.Errorf("consistency: %s", msg)
+		}
+	})
+}
+
+func TestDListConcurrentStaysConsistent(t *testing.T) {
+	m := run(1, 1, func(m *Mem, th *sched.Thread) {})
+	l := NewDList(m)
+	var seed []uint64
+	for i := uint64(1); i <= 60; i++ {
+		seed = append(seed, i)
+	}
+	l.SeedNonTx(seed)
+	s := sched.New(6, 17)
+	s.Run(func(th *sched.Thread) {
+		for i := 0; i < 30; i++ {
+			k := uint64(1 + th.Rand().Intn(80))
+			atomic(m, th, func(tx tm.Txn) error {
+				if th.Rand().Intn(2) == 0 {
+					l.Insert(tx, k, k)
+				} else {
+					l.Remove(tx, k)
+				}
+				return nil
+			})
+		}
+	})
+	if msg := l.CheckConsistent(); msg != "" {
+		t.Fatalf("safe removal must keep the dlist consistent: %s", msg)
+	}
+}
