@@ -285,7 +285,7 @@ func txlibMemFor(e tm.Engine) *txlib.Mem { return txlib.NewMem(e) }
 func BenchmarkEngineThroughput(b *testing.B) {
 	kinds := []harness.EngineKind{harness.TwoPL, harness.SONTM, harness.SITM}
 	for _, kind := range kinds {
-		b.Run(kind.String(), func(b *testing.B) {
+		b.Run(kind, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := harness.Run(kind, func() harness.Workload { return micro.NewList() }, 16, benchOpts())
 				b.ReportMetric(r.Throughput*1000, "commits/Mcycle")

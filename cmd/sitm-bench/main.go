@@ -8,8 +8,11 @@
 //	sitm-bench -table 2        Table 2 / Appendix A: MVM version accesses
 //	sitm-bench -all            everything above
 //
-// Flags -seeds, -threads, -word, -dropoldest and -nobackoff expose the
-// evaluation's knobs and ablations.
+// Flags -seeds, -threads, -workers, -workload, -word, -dropoldest and
+// -nobackoff expose the evaluation's knobs and ablations. Sweeps are
+// experiment plans executed on a shared-nothing worker pool; -workers
+// bounds the pool (default: one worker per CPU) and the output is
+// byte-identical at any worker count.
 package main
 
 import (
@@ -19,7 +22,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/plot"
 	"repro/internal/report"
@@ -31,7 +36,10 @@ func main() {
 		table      = flag.Int("table", 0, "table to regenerate (1 or 2)")
 		all        = flag.Bool("all", false, "regenerate every figure and table")
 		threads    = flag.Int("threads", 32, "thread count for Figure 1 / Table 2")
-		seeds      = flag.String("seeds", "1,2,3", "comma-separated seeds to average over")
+		seeds      = flag.String("seeds", "1,2,3", "seeds to average over: N for seeds 1..N (the paper uses -seeds 5), or a comma-separated list of explicit seeds")
+		workers    = flag.Int("workers", 0, "experiment-runner worker pool size (0 = one per CPU); results do not depend on it")
+		workload   = flag.String("workload", "", "restrict sweeps to these comma-separated workloads (default: all)")
+		progress   = flag.Bool("progress", false, "print per-cell progress to stderr as the sweep runs")
 		word       = flag.Bool("word", false, "enable SI-TM word-granularity conflict filtering (§4.2)")
 		dropOldest = flag.Bool("dropoldest", false, "use the drop-oldest version policy instead of abort-fifth (§3.1)")
 		noBackoff  = flag.Bool("nobackoff", false, "replace exponential backoff with a constant delay (§6.4 ablation)")
@@ -48,14 +56,26 @@ func main() {
 	o.DropOldest = *dropOldest
 	o.NoBackoff = *noBackoff
 	o.Scale = *scale
-	o.Seeds = nil
-	for _, s := range strings.Split(*seeds, ",") {
-		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sitm-bench: bad seed %q: %v\n", s, err)
-			os.Exit(2)
+	o.Workers = *workers
+	var err error
+	if o.Seeds, err = parseSeeds(*seeds); err != nil {
+		fmt.Fprintf(os.Stderr, "sitm-bench: %v\n", err)
+		os.Exit(2)
+	}
+	if *workload != "" {
+		for _, name := range strings.Split(*workload, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := harness.WorkloadByName(name); err != nil {
+				fmt.Fprintf(os.Stderr, "sitm-bench: %v\n", err)
+				os.Exit(2)
+			}
+			o.Only = append(o.Only, name)
 		}
-		o.Seeds = append(o.Seeds, v)
+	}
+	if *progress {
+		o.Progress = func(p exp.Progress) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%s)\n", p.Done, p.Total, p.Cell, p.Wall.Round(time.Millisecond))
+		}
 	}
 
 	ran := false
@@ -128,6 +148,47 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseSeeds interprets the -seeds flag. A bare integer N expands to the
+// seeds 1..N, so the paper's 5-seed averaging is `-seeds 5`; a value with
+// commas is an explicit seed list (a single explicit seed can be written
+// with a trailing comma, e.g. `-seeds 7,`).
+func parseSeeds(s string) ([]uint64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("empty -seeds")
+	}
+	if !strings.Contains(s, ",") {
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -seeds %q: %v", s, err)
+		}
+		if n == 0 || n > 1<<16 {
+			return nil, fmt.Errorf("bad -seeds %d: seed count must be in 1..%d", n, 1<<16)
+		}
+		seeds := make([]uint64, n)
+		for i := range seeds {
+			seeds[i] = uint64(i + 1)
+		}
+		return seeds, nil
+	}
+	var seeds []uint64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q: %v", part, err)
+		}
+		seeds = append(seeds, v)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("empty -seeds list %q", s)
+	}
+	return seeds, nil
 }
 
 // chartFigure7 renders the abort-ratio series per benchmark (log y).

@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/sched"
 	"repro/internal/skew"
 	"repro/internal/tm"
 	"repro/internal/txlib"
+
+	// SI-TM self-registers with the tm engine registry.
+	_ "repro/internal/core"
 )
 
 func main() {
@@ -36,7 +38,11 @@ func main() {
 
 	var firstRec *skew.Recorder
 	run := func(promote *skew.Report) (*skew.Report, string) {
-		e := core.New(core.DefaultConfig())
+		e, err := tm.NewEngine("SI-TM", tm.EngineOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skewcheck: %v\n", err)
+			os.Exit(1)
+		}
 		if promote != nil {
 			promote.Promote(e)
 		}
@@ -214,7 +220,7 @@ func buildWorkload(name string, m *txlib.Mem, txns int) (func(*sched.Thread), fu
 				return ""
 			}
 	default:
-		fmt.Fprintf(os.Stderr, "skewcheck: unknown workload %q\n", name)
+		fmt.Fprintf(os.Stderr, "skewcheck: unknown workload %q (valid: list, dlist, rbtree, bank)\n", name)
 		os.Exit(2)
 		return nil, nil
 	}

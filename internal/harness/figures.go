@@ -15,13 +15,14 @@ var Fig1Workloads = []string{"Genome", "Bayes", "Intruder", "Kmeans", "Labyrinth
 // under 2PL at the given thread count and writes the table: the paper
 // reports 75-99% of aborts are read-write across the suite.
 func Figure1(w io.Writer, threads int, o Options) []Result {
+	names := o.filterWorkloads(Fig1Workloads)
+	res := mustSweep(names, []EngineKind{TwoPL}, []int{threads}, o)
 	fmt.Fprintf(w, "Figure 1: Read-Write and Write-Write Aborts in 2PL (%d threads)\n", threads)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\taborts\tread-write %\twrite-write %")
 	var out []Result
-	for _, name := range Fig1Workloads {
-		f := byName(name)
-		r := Run(TwoPL, f, threads, o)
+	for _, name := range names {
+		r := res[sweepKey{Workload: name, Engine: TwoPL, Threads: threads}]
 		total := r.RWAborts + r.WWAborts
 		rw, ww := 0.0, 0.0
 		if total > 0 {
@@ -38,21 +39,26 @@ func Figure1(w io.Writer, threads int, o Options) []Result {
 // Fig7Threads are the thread counts of the Figure 7 panels.
 var Fig7Threads = []int{8, 16, 32}
 
+// fig7Engines are the engines compared in Figures 7 and 8, in column
+// order.
+var fig7Engines = []EngineKind{TwoPL, SONTM, SITM}
+
 // Figure7 measures abort counts relative to 2PL for every benchmark at 8,
 // 16 and 32 threads and writes one table per benchmark. Values below 1.0
 // mean fewer aborts than 2PL at the same thread count.
 func Figure7(w io.Writer, o Options) map[string]map[int][3]float64 {
+	names := o.filterWorkloads(registryNames())
+	res := mustSweep(names, fig7Engines, Fig7Threads, o)
 	fmt.Fprintln(w, "Figure 7: Abort rates relative to 2PL")
 	out := make(map[string]map[int][3]float64)
-	for _, f := range Registry() {
-		name := f().Name()
+	for _, name := range names {
 		out[name] = make(map[int][3]float64)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintf(tw, "%s\tthreads\t2PL\tSONTM\tSI-TM\n", name)
 		for _, th := range Fig7Threads {
-			base := Run(TwoPL, f, th, o)
-			cs := Run(SONTM, f, th, o)
-			si := Run(SITM, f, th, o)
+			base := res[sweepKey{Workload: name, Engine: TwoPL, Threads: th}]
+			cs := res[sweepKey{Workload: name, Engine: SONTM, Threads: th}]
+			si := res[sweepKey{Workload: name, Engine: SITM, Threads: th}]
 			rel := func(r Result) float64 {
 				if base.Aborts == 0 {
 					if r.Aborts == 0 {
@@ -81,29 +87,26 @@ var Fig8Threads = []int{1, 2, 4, 8, 16, 32}
 // normalised to the same engine at one thread — for every benchmark and
 // engine, and writes one table per benchmark.
 func Figure8(w io.Writer, o Options) map[string]map[string][]float64 {
+	names := o.filterWorkloads(registryNames())
+	res := mustSweep(names, fig7Engines, Fig8Threads, o)
 	fmt.Fprintln(w, "Figure 8: Application speedup (throughput vs 1 thread)")
-	kinds := []EngineKind{TwoPL, SONTM, SITM}
 	out := make(map[string]map[string][]float64)
-	for _, f := range Registry() {
-		name := f().Name()
+	for _, name := range names {
 		out[name] = make(map[string][]float64)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintf(tw, "%s\tthreads\t2PL\tSONTM\tSI-TM\n", name)
 		series := make(map[EngineKind][]float64)
-		for _, kind := range kinds {
-			var base float64
+		for _, kind := range fig7Engines {
+			base := res[sweepKey{Workload: name, Engine: kind, Threads: 1}].Throughput
 			for _, th := range Fig8Threads {
-				r := Run(kind, f, th, o)
-				if th == 1 {
-					base = r.Throughput
-				}
+				r := res[sweepKey{Workload: name, Engine: kind, Threads: th}]
 				sp := 0.0
 				if base > 0 {
 					sp = r.Throughput / base
 				}
 				series[kind] = append(series[kind], sp)
 			}
-			out[name][kind.String()] = series[kind]
+			out[name][kind] = series[kind]
 		}
 		for i, th := range Fig8Threads {
 			fmt.Fprintf(tw, "\t%d\t%.2f\t%.2f\t%.2f\n", th, series[TwoPL][i], series[SONTM][i], series[SITM][i])
@@ -132,13 +135,14 @@ func Table1(w io.Writer) {
 // the paper finds <1% of accesses target versions older than the 4th.
 func Table2(w io.Writer, threads int, o Options) map[string][6]uint64 {
 	o.UnboundedVersions = true
+	names := o.filterWorkloads(registryNames())
+	res := mustSweep(names, []EngineKind{SITM}, []int{threads}, o)
 	fmt.Fprintf(w, "Table 2: Number of accesses to specific MVM versions (%d threads, unbounded)\n", threads)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\t1st\t2nd\t3rd\t4th\t5th\ttail\tolder-than-4th %")
 	out := make(map[string][6]uint64)
-	for _, f := range Registry() {
-		name := f().Name()
-		r := Run(SITM, f, threads, o)
+	for _, name := range names {
+		r := res[sweepKey{Workload: name, Engine: SITM, Threads: threads}]
 		var row [6]uint64
 		copy(row[:5], r.MVM.AccessDepth[:])
 		row[5] = r.MVM.AccessTail

@@ -4,6 +4,15 @@
 // (read-write vs write-write abort breakdown under 2PL), Figure 7 (abort
 // rates relative to 2PL), Figure 8 (application speedup) and Table 2 /
 // Appendix A (accesses per MVM version depth).
+//
+// The sweeps are expressed as experiment plans (internal/exp): every
+// (workload, engine, threads, seed) cell is one isolated deterministic
+// simulation, executed on a bounded pool of OS goroutines. Engines are
+// constructed through the tm engine registry; each cell builds its own
+// engine, memory hierarchy and workload instance (shared-nothing), so the
+// lowest-cycle-first schedule inside a cell is unaffected by how many
+// cells run concurrently and all reports are byte-identical at any worker
+// count.
 package harness
 
 import (
@@ -11,15 +20,18 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/micro"
 	"repro/internal/mvm"
 	"repro/internal/sched"
-	"repro/internal/sontm"
 	"repro/internal/stamp"
 	"repro/internal/tm"
-	"repro/internal/twopl"
 	"repro/internal/txlib"
+
+	// Engine packages self-register with the tm registry.
+	"repro/internal/core"
+	_ "repro/internal/sontm"
+	_ "repro/internal/twopl"
 )
 
 // Workload is the surface the microbenchmarks and STAMP kernels expose;
@@ -37,39 +49,36 @@ type Scalable interface {
 	Scale(factor int)
 }
 
-// EngineKind selects a TM implementation.
-type EngineKind int
+// EngineKind names a TM implementation in the tm engine registry.
+type EngineKind = string
 
 const (
 	// TwoPL is the eager requester-wins baseline (§6.1).
-	TwoPL EngineKind = iota
+	TwoPL EngineKind = "2PL"
 	// SONTM is the conflict-serializable baseline (§6.1).
-	SONTM
+	SONTM EngineKind = "SONTM"
 	// SITM is the paper's snapshot-isolation TM (§4).
-	SITM
+	SITM EngineKind = "SI-TM"
 	// SSITM is serializable SI-TM (§5.2).
-	SSITM
+	SSITM EngineKind = "SSI-TM"
 )
-
-func (k EngineKind) String() string {
-	switch k {
-	case TwoPL:
-		return "2PL"
-	case SONTM:
-		return "SONTM"
-	case SITM:
-		return "SI-TM"
-	case SSITM:
-		return "SSI-TM"
-	}
-	return fmt.Sprintf("EngineKind(%d)", int(k))
-}
 
 // Options tunes a run.
 type Options struct {
 	// Seeds to average over; the paper averages 5 runs with different
 	// random seeds. Defaults to {1, 2, 3}.
 	Seeds []uint64
+	// Workers bounds the experiment runner's worker pool; 0 means one
+	// worker per available CPU (runtime.GOMAXPROCS). Results do not
+	// depend on the worker count.
+	Workers int
+	// Progress, when non-nil, receives a callback after each completed
+	// plan cell (completion order, serialised).
+	Progress func(exp.Progress)
+	// Only restricts figure sweeps to these workload names
+	// (case-insensitive); empty selects every workload of the figure.
+	// Validate names with WorkloadByName before building plans.
+	Only []string
 	// NoBackoff replaces the tuned exponential backoff with a minimal
 	// constant (jittered, non-growing) delay — the §6.4 ablation
 	// ("without exponential backoff 2PL and CS show even higher abort
@@ -92,10 +101,57 @@ type Options struct {
 	// larger values approach the paper's configurations at the cost of
 	// wall-clock time).
 	Scale int
+
+	// measureMVM additionally runs the §3.1–§3.3 MVM measurements
+	// (overheads, dedup) per cell; set internally by MVMReport.
+	measureMVM bool
 }
 
 // DefaultOptions returns the evaluation defaults.
 func DefaultOptions() Options { return Options{Seeds: []uint64{1, 2, 3}} }
+
+// withDefaults fills unset fields.
+func (o Options) withDefaults() Options {
+	if len(o.Seeds) == 0 {
+		o.Seeds = []uint64{1, 2, 3}
+	}
+	return o
+}
+
+// engineOptions maps the harness knobs onto the registry's
+// representation-independent engine options.
+func (o Options) engineOptions() tm.EngineOptions {
+	return tm.EngineOptions{
+		WordGranularity:   o.WordGranularity,
+		UnboundedVersions: o.UnboundedVersions,
+		DropOldest:        o.DropOldest,
+		NoCoalescing:      o.NoCoalescing,
+		NoXlate:           o.NoXlate,
+	}
+}
+
+// runner returns the experiment runner configured by the options.
+func (o Options) runner() exp.Runner {
+	return exp.Runner{Workers: o.Workers, Progress: o.Progress}
+}
+
+// filterWorkloads restricts names to o.Only (case-insensitive), keeping
+// the input order; an empty Only keeps all names.
+func (o Options) filterWorkloads(names []string) []string {
+	if len(o.Only) == 0 {
+		return names
+	}
+	var out []string
+	for _, name := range names {
+		for _, only := range o.Only {
+			if strings.EqualFold(name, only) {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	return out
+}
 
 // Result aggregates one workload × engine × thread-count cell, averaged
 // over seeds.
@@ -116,32 +172,23 @@ type Result struct {
 	ValidateMsg string
 }
 
-// newEngine builds a fresh engine of the given kind per run.
-func newEngine(kind EngineKind, o Options) tm.Engine {
-	switch kind {
-	case TwoPL:
-		return twopl.New(twopl.DefaultConfig())
-	case SONTM:
-		return sontm.New(sontm.DefaultConfig())
-	case SITM, SSITM:
-		cfg := core.DefaultConfig()
-		cfg.Serializable = kind == SSITM
-		cfg.WordGranularity = o.WordGranularity
-		if o.UnboundedVersions {
-			cfg.MVM.Policy = mvm.Unbounded
-		}
-		if o.DropOldest {
-			cfg.MVM.Policy = mvm.DropOldest
-		}
-		if o.NoCoalescing {
-			cfg.MVM.Coalesce = false
-		}
-		if o.NoXlate {
-			cfg.Cache.XlateEntries = 0
-		}
-		return core.New(cfg)
-	}
-	panic("harness: unknown engine kind")
+// cellStats is the raw measurement of one plan cell: a single-seed run of
+// one workload on one engine at one thread count.
+type cellStats struct {
+	workload    string
+	commits     float64
+	aborts      float64
+	rwAborts    float64
+	wwAborts    float64
+	otherAborts float64
+	makespan    float64
+	mvm         mvm.Stats
+	validateMsg string
+
+	// Filled only under Options.measureMVM (the §3.1–§3.3 report).
+	overheadPct float64
+	sharablePct float64
+	stalls      uint64
 }
 
 // backoffFor returns the retry policy. Every engine's software retry loop
@@ -149,62 +196,81 @@ func newEngine(kind EngineKind, o Options) tm.Engine {
 // builds on back off unconditionally); the paper additionally notes the
 // two eager mechanisms *depend* on it to avoid livelock (§6.4) — the
 // NoBackoff ablation shows that dependence.
-func backoffFor(kind EngineKind, o Options) tm.BackoffConfig {
+func backoffFor(o Options) tm.BackoffConfig {
 	if o.NoBackoff {
 		return tm.BackoffConfig{Enabled: true, Base: 32, MaxShift: 0}
 	}
-	_ = kind
 	return tm.DefaultBackoff()
 }
 
-// Run executes workload (built fresh per seed by factory) on an engine of
-// the given kind with the given thread count and returns seed-averaged
-// results.
-func Run(kind EngineKind, factory func() Workload, threads int, o Options) Result {
-	if len(o.Seeds) == 0 {
-		o.Seeds = []uint64{1, 2, 3}
+// runCell executes one plan cell as an isolated simulation: a fresh
+// workload instance, a fresh engine from the registry and a fresh
+// deterministic machine, sharing nothing with concurrently running cells.
+func runCell(c exp.Cell, factory func() Workload, o Options) cellStats {
+	w := factory()
+	if s, ok := w.(Scalable); ok && o.Scale > 1 {
+		s.Scale(o.Scale)
 	}
-	var agg Result
-	agg.Threads = threads
-	agg.Engine = kind.String()
-	for _, seed := range o.Seeds {
-		w := factory()
-		if s, ok := w.(Scalable); ok && o.Scale > 1 {
-			s.Scale(o.Scale)
-		}
-		agg.Workload = w.Name()
-		e := newEngine(kind, o)
-		m := txlib.NewMem(e)
-		w.Setup(m, threads)
-		bo := backoffFor(kind, o)
-		s := sched.New(threads, seed)
-		s.Run(func(th *sched.Thread) { w.Run(m, th, bo) })
+	e, err := tm.NewEngine(c.Engine, o.engineOptions())
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	m := txlib.NewMem(e)
+	w.Setup(m, c.Threads)
+	bo := backoffFor(o)
+	s := sched.New(c.Threads, c.Seed)
+	s.Run(func(th *sched.Thread) { w.Run(m, th, bo) })
 
-		st := e.Stats()
-		agg.Commits += float64(st.Commits)
-		agg.Aborts += float64(st.TotalAborts())
-		agg.RWAborts += float64(st.Aborts[tm.AbortReadWrite])
-		agg.WWAborts += float64(st.Aborts[tm.AbortWriteWrite])
-		agg.OtherAborts += float64(st.Aborts[tm.AbortOrder] + st.Aborts[tm.AbortCapacity] + st.Aborts[tm.AbortSkew])
-		agg.Makespan += float64(s.Makespan())
-		if msg := w.Validate(m); msg != "" && agg.ValidateMsg == "" {
-			agg.ValidateMsg = msg
-		}
-		if si, ok := e.(*core.Engine); ok {
-			ms := si.MVM().Stats()
-			agg.MVM.AccessTail += ms.AccessTail
-			for i := range ms.AccessDepth {
-				agg.MVM.AccessDepth[i] += ms.AccessDepth[i]
-			}
-			agg.MVM.Coalesced += ms.Coalesced
-			agg.MVM.Installs += ms.Installs
-			agg.MVM.GCReclaimed += ms.GCReclaimed
-			if ms.PeakVersions > agg.MVM.PeakVersions {
-				agg.MVM.PeakVersions = ms.PeakVersions
-			}
+	st := e.Stats()
+	cs := cellStats{
+		workload:    w.Name(),
+		commits:     float64(st.Commits),
+		aborts:      float64(st.TotalAborts()),
+		rwAborts:    float64(st.Aborts[tm.AbortReadWrite]),
+		wwAborts:    float64(st.Aborts[tm.AbortWriteWrite]),
+		otherAborts: float64(st.Aborts[tm.AbortOrder] + st.Aborts[tm.AbortCapacity] + st.Aborts[tm.AbortSkew]),
+		makespan:    float64(s.Makespan()),
+		validateMsg: w.Validate(m),
+	}
+	if si, ok := e.(*core.Engine); ok {
+		cs.mvm = si.MVM().Stats()
+		if o.measureMVM {
+			cs.overheadPct = si.MVM().MeasureOverheads(1).OverheadPct
+			cs.sharablePct = si.MVM().MeasureDedup().SharablePct()
+			cs.stalls = st.Stalls
 		}
 	}
-	n := float64(len(o.Seeds))
+	return cs
+}
+
+// aggregate folds the per-seed cell measurements of one sweep point into
+// a seed-averaged Result.
+func aggregate(engine EngineKind, threads int, cells []cellStats) Result {
+	agg := Result{Engine: engine, Threads: threads}
+	for _, c := range cells {
+		agg.Workload = c.workload
+		agg.Commits += c.commits
+		agg.Aborts += c.aborts
+		agg.RWAborts += c.rwAborts
+		agg.WWAborts += c.wwAborts
+		agg.OtherAborts += c.otherAborts
+		agg.Makespan += c.makespan
+		if c.validateMsg != "" && agg.ValidateMsg == "" {
+			agg.ValidateMsg = c.validateMsg
+		}
+		agg.MVM.AccessTail += c.mvm.AccessTail
+		for i := range c.mvm.AccessDepth {
+			agg.MVM.AccessDepth[i] += c.mvm.AccessDepth[i]
+		}
+		agg.MVM.Coalesced += c.mvm.Coalesced
+		agg.MVM.Installs += c.mvm.Installs
+		agg.MVM.GCReclaimed += c.mvm.GCReclaimed
+		agg.MVM.DroppedOld += c.mvm.DroppedOld
+		if c.mvm.PeakVersions > agg.MVM.PeakVersions {
+			agg.MVM.PeakVersions = c.mvm.PeakVersions
+		}
+	}
+	n := float64(len(cells))
 	agg.Commits /= n
 	agg.Aborts /= n
 	agg.RWAborts /= n
@@ -218,6 +284,67 @@ func Run(kind EngineKind, factory func() Workload, threads int, o Options) Resul
 		agg.Throughput = agg.Commits / agg.Makespan * 1000
 	}
 	return agg
+}
+
+// Run executes workload (built fresh per seed by factory) on the named
+// engine with the given thread count and returns seed-averaged results.
+// The per-seed cells run on the options' worker pool.
+func Run(kind EngineKind, factory func() Workload, threads int, o Options) Result {
+	o = o.withDefaults()
+	name := factory().Name()
+	plan := make(exp.Plan, 0, len(o.Seeds))
+	for _, seed := range o.Seeds {
+		plan = append(plan, exp.Cell{Workload: name, Engine: kind, Threads: threads, Seed: seed})
+	}
+	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
+		return runCell(c, factory, o)
+	})
+	return aggregate(kind, threads, exp.Values(rs))
+}
+
+// sweepKey addresses one seed-averaged point of a sweep.
+type sweepKey struct {
+	Workload string
+	Engine   EngineKind
+	Threads  int
+}
+
+// sweep runs the full workloads × engines × threads × seeds cross-product
+// as ONE experiment plan — so the worker pool parallelises across the
+// whole sweep — and returns the seed-averaged results keyed by sweep
+// point. Workload names must exist in the registry.
+func sweep(workloads []string, engines []EngineKind, threads []int, o Options) (map[sweepKey]Result, error) {
+	o = o.withDefaults()
+	factories := make(map[string]func() Workload, len(workloads))
+	for _, name := range workloads {
+		f, err := WorkloadByName(name)
+		if err != nil {
+			return nil, err
+		}
+		factories[name] = f
+	}
+	plan := exp.Cross(workloads, engines, threads, o.Seeds)
+	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
+		return runCell(c, factories[c.Workload], o)
+	})
+	out := make(map[sweepKey]Result, len(rs)/len(o.Seeds))
+	for i := 0; i < len(rs); i += len(o.Seeds) {
+		cells := exp.Values(rs[i : i+len(o.Seeds)])
+		c := rs[i].Cell
+		out[sweepKey{Workload: c.Workload, Engine: c.Engine, Threads: c.Threads}] =
+			aggregate(c.Engine, c.Threads, cells)
+	}
+	return out, nil
+}
+
+// mustSweep is sweep for callers whose workload names come from the
+// registry itself and therefore cannot be unknown.
+func mustSweep(workloads []string, engines []EngineKind, threads []int, o Options) map[sweepKey]Result {
+	m, err := sweep(workloads, engines, threads, o)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return m
 }
 
 // Registry returns the workload factories in the paper's presentation
@@ -237,22 +364,30 @@ func Registry() []func() Workload {
 	}
 }
 
-// byName returns the registry entry for name (case-insensitive), or nil.
-func byName(name string) func() Workload {
-	for _, f := range Registry() {
-		if strings.EqualFold(f().Name(), name) {
-			return f
-		}
-	}
-	return nil
-}
-
-// Workloads lists the registered workload names.
-func Workloads() []string {
+// registryNames returns the workload names in presentation order.
+func registryNames() []string {
 	var names []string
 	for _, f := range Registry() {
 		names = append(names, f().Name())
 	}
+	return names
+}
+
+// WorkloadByName returns the registry entry for name (case-insensitive).
+// Unknown names return an error listing the valid workload names.
+func WorkloadByName(name string) (func() Workload, error) {
+	for _, f := range Registry() {
+		if strings.EqualFold(f().Name(), name) {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("harness: unknown workload %q (valid: %s)",
+		name, strings.Join(Workloads(), ", "))
+}
+
+// Workloads lists the registered workload names.
+func Workloads() []string {
+	names := registryNames()
 	sort.Strings(names)
 	return names
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/micro"
+	"repro/internal/tm"
 )
 
 func quickOpts() Options { return Options{Seeds: []uint64{1}} }
@@ -41,13 +42,16 @@ func TestRunSeedAveragingIsDeterministic(t *testing.T) {
 func TestEngineKindsConstructAndName(t *testing.T) {
 	names := map[EngineKind]string{TwoPL: "2PL", SONTM: "SONTM", SITM: "SI-TM", SSITM: "SSI-TM"}
 	for kind, want := range names {
-		e := newEngine(kind, quickOpts())
+		e, err := tm.NewEngine(kind, quickOpts().engineOptions())
+		if err != nil {
+			t.Fatalf("engine %q not registered: %v", kind, err)
+		}
 		if e.Name() != want {
 			t.Errorf("%v engine name = %q, want %q", kind, e.Name(), want)
 		}
-		if kind.String() != want {
-			t.Errorf("kind string = %q, want %q", kind.String(), want)
-		}
+	}
+	if _, err := tm.NewEngine("nosuch", quickOpts().engineOptions()); err == nil {
+		t.Fatal("unknown engine must error")
 	}
 }
 
@@ -62,11 +66,17 @@ func TestRegistryNamesUniqueAndComplete(t *testing.T) {
 			t.Fatalf("workloads = %v, want %v", got, want)
 		}
 	}
-	if byName("vacation") == nil || byName("VACATION") == nil {
-		t.Fatal("byName must be case-insensitive")
+	for _, name := range []string{"vacation", "VACATION"} {
+		if f, err := WorkloadByName(name); err != nil || f == nil {
+			t.Fatalf("WorkloadByName(%q) must be case-insensitive, got %v", name, err)
+		}
 	}
-	if byName("nosuch") != nil {
-		t.Fatal("byName must reject unknown names")
+	f, err := WorkloadByName("nosuch")
+	if f != nil || err == nil {
+		t.Fatal("WorkloadByName must reject unknown names with an error")
+	}
+	if !strings.Contains(err.Error(), "Vacation") || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("error must list valid names and echo the bad one: %v", err)
 	}
 }
 

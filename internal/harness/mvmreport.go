@@ -5,9 +5,7 @@ import (
 	"io"
 	"text/tabwriter"
 
-	"repro/internal/core"
-	"repro/internal/sched"
-	"repro/internal/txlib"
+	"repro/internal/exp"
 )
 
 // MVMRow summarises the §3 multiversioned-memory behaviour of one
@@ -27,40 +25,40 @@ type MVMRow struct {
 // writes a table of the §3.1–§3.3 measurements: how often version
 // coalescing collapses versions, how much the write-driven GC reclaims,
 // the deepest version list, the indirection storage overhead, and the
-// deduplication opportunity of the indirection layer.
+// deduplication opportunity of the indirection layer. The cells run on
+// the options' worker pool (one isolated simulation per workload).
 func MVMReport(w io.Writer, threads int, o Options) []MVMRow {
 	if len(o.Seeds) == 0 {
 		o.Seeds = []uint64{1}
 	}
+	o.measureMVM = true
+	names := o.filterWorkloads(registryNames())
+	plan := exp.Cross(names, []EngineKind{SITM}, []int{threads}, o.Seeds[:1])
+	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
+		f, err := WorkloadByName(c.Workload)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		return runCell(c, f, o)
+	})
+
 	fmt.Fprintf(w, "MVM behaviour under SI-TM (%d threads, seed %d)\n", threads, o.Seeds[0])
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tinstalls\tcoalesced %\tgc reclaimed\tpeak versions\toverhead %\tsharable %\tstalls")
 	var out []MVMRow
-	for _, f := range Registry() {
-		wl := f()
-		if s, ok := wl.(Scalable); ok && o.Scale > 1 {
-			s.Scale(o.Scale)
-		}
-		e := newEngine(SITM, o).(*core.Engine)
-		m := txlib.NewMem(e)
-		wl.Setup(m, threads)
-		bo := backoffFor(SITM, o)
-		sched.New(threads, o.Seeds[0]).Run(func(th *sched.Thread) { wl.Run(m, th, bo) })
-
-		ms := e.MVM().Stats()
-		ov := e.MVM().MeasureOverheads(1)
-		dd := e.MVM().MeasureDedup()
+	for _, r := range rs {
+		cs := r.Value
 		row := MVMRow{
-			Workload:     wl.Name(),
-			Installs:     ms.Installs,
-			GCReclaimed:  ms.GCReclaimed,
-			PeakVersions: ms.PeakVersions,
-			OverheadPct:  ov.OverheadPct,
-			SharablePct:  dd.SharablePct(),
-			Stalls:       e.Stats().Stalls,
+			Workload:     cs.workload,
+			Installs:     cs.mvm.Installs,
+			GCReclaimed:  cs.mvm.GCReclaimed,
+			PeakVersions: cs.mvm.PeakVersions,
+			OverheadPct:  cs.overheadPct,
+			SharablePct:  cs.sharablePct,
+			Stalls:       cs.stalls,
 		}
-		if ms.Installs > 0 {
-			row.CoalescedPct = 100 * float64(ms.Coalesced) / float64(ms.Installs)
+		if cs.mvm.Installs > 0 {
+			row.CoalescedPct = 100 * float64(cs.mvm.Coalesced) / float64(cs.mvm.Installs)
 		}
 		out = append(out, row)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%.1f\t%.1f\t%d\n",

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// poolWorkers picks the "all cores" worker count for the determinism
+// tests; on a single-CPU machine it still uses a multi-goroutine pool so
+// the concurrent path (and the race detector) is exercised.
+func poolWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 4
+}
+
+// TestFigure7DeterministicAcrossWorkers is the runner's core contract:
+// the full Figure 7 result map — and the rendered report — must be
+// identical when computed with 1 worker and with a full worker pool, and
+// across two runs at the same worker count.
+func TestFigure7DeterministicAcrossWorkers(t *testing.T) {
+	o := Options{Seeds: []uint64{1}}
+	run := func(workers int) (map[string]map[int][3]float64, string) {
+		o.Workers = workers
+		var buf bytes.Buffer
+		data := Figure7(&buf, o)
+		return data, buf.String()
+	}
+
+	serial, serialOut := run(1)
+	parallel, parallelOut := run(poolWorkers())
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Figure7 data diverges between 1 worker and %d workers", poolWorkers())
+	}
+	if serialOut != parallelOut {
+		t.Fatalf("Figure7 report not byte-identical across worker counts:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+			serialOut, poolWorkers(), parallelOut)
+	}
+
+	again, againOut := run(poolWorkers())
+	if !reflect.DeepEqual(parallel, again) || parallelOut != againOut {
+		t.Fatalf("Figure7 not reproducible across two runs at %d workers", poolWorkers())
+	}
+}
+
+// TestFigure8ParallelIdenticalAndTimed runs the Figure 8 sweep serially
+// and on a full worker pool: the outputs must be byte-identical, and on a
+// multi-core machine the parallel sweep must be faster.
+func TestFigure8ParallelIdenticalAndTimed(t *testing.T) {
+	o := Options{Seeds: []uint64{1}}
+	run := func(workers int) (map[string]map[string][]float64, string, time.Duration) {
+		o.Workers = workers
+		var buf bytes.Buffer
+		start := time.Now()
+		data := Figure8(&buf, o)
+		return data, buf.String(), time.Since(start)
+	}
+
+	serial, serialOut, serialWall := run(1)
+	parallel, parallelOut, parallelWall := run(poolWorkers())
+	t.Logf("Figure8 sweep: workers=1 %v, workers=%d %v", serialWall, poolWorkers(), parallelWall)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("Figure8 data diverges between 1 worker and %d workers", poolWorkers())
+	}
+	if serialOut != parallelOut {
+		t.Fatal("Figure8 report not byte-identical across worker counts")
+	}
+	if runtime.GOMAXPROCS(0) > 1 && parallelWall >= serialWall {
+		t.Errorf("parallel Figure8 sweep (%v at %d workers) not faster than serial (%v)",
+			parallelWall, poolWorkers(), serialWall)
+	}
+}
+
+// BenchmarkFigure8Sweep times the Figure 8 sweep per worker count, so
+// `go test -bench Figure8Sweep ./internal/harness` shows the wall-clock
+// effect of the pool directly.
+func BenchmarkFigure8Sweep(b *testing.B) {
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(map[bool]string{true: "workers=1", false: "workers=gomaxprocs"}[workers == 1], func(b *testing.B) {
+			o := Options{Seeds: []uint64{1}, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				Figure8(io.Discard, o)
+			}
+		})
+	}
+}
+
+// TestProgressCallbackCoversPlan checks the per-cell progress plumbing
+// through the harness options.
+func TestProgressCallbackCoversPlan(t *testing.T) {
+	var calls atomic.Int64
+	var total atomic.Int64
+	o := Options{
+		Seeds:   []uint64{1, 2},
+		Workers: 2,
+		Only:    []string{"List"},
+		Progress: func(p exp.Progress) {
+			calls.Add(1)
+			total.Store(int64(p.Total))
+			if p.Cell.Workload != "List" {
+				t.Errorf("unexpected cell %v under Only filter", p.Cell)
+			}
+		},
+	}
+	Figure1(io.Discard, 4, o)
+	// Figure 1 restricted to List: 1 workload × 1 engine × 1 thread
+	// count × 2 seeds.
+	if calls.Load() != 2 || total.Load() != 2 {
+		t.Fatalf("progress calls=%d total=%d, want 2/2", calls.Load(), total.Load())
+	}
+}
+
+// TestOnlyFilterSelectsAndOrders checks workload filtering for figure
+// sweeps.
+func TestOnlyFilterSelectsAndOrders(t *testing.T) {
+	o := Options{Only: []string{"rbtree", "GENOME"}}
+	got := o.filterWorkloads(registryNames())
+	if !reflect.DeepEqual(got, []string{"RBTree", "Genome"}) {
+		t.Fatalf("filterWorkloads = %v", got)
+	}
+	var buf bytes.Buffer
+	o.Seeds = []uint64{1}
+	data := Figure7(&buf, o)
+	if len(data) != 2 {
+		t.Fatalf("filtered Figure7 covered %d workloads, want 2", len(data))
+	}
+	if _, ok := data["Genome"]; !ok {
+		t.Fatalf("filtered Figure7 missing Genome: %v", data)
+	}
+}

@@ -1,0 +1,11 @@
+package twopl
+
+import "repro/internal/tm"
+
+// The eager 2PL baseline self-registers under the paper's name so the
+// harness and CLIs can construct it through the tm engine registry.
+func init() {
+	tm.Register("2PL", func(tm.EngineOptions) tm.Engine {
+		return New(DefaultConfig())
+	})
+}
