@@ -1,0 +1,136 @@
+// Command sitm-lint is the multichecker driver for the repository's
+// custom static-analysis passes (internal/lint):
+//
+//	detlint      no nondeterminism sources in simulation packages
+//	enginelint   engines constructed only through the tm registry
+//	chargelint   simulated-memory accessors charge cycles
+//	findinglint  report.Finding literals set Check, OK and Detail
+//
+// Usage:
+//
+//	go run ./cmd/sitm-lint ./...
+//	go run ./cmd/sitm-lint ./internal/mvm ./internal/cache
+//
+// sitm-lint must run from the module root. It prints one line per
+// diagnostic and exits non-zero if any analyzer reported a finding that
+// is not covered by a //sitm:allow(<analyzer>) directive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "describe the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sitm-lint [-list] [./... | packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	modPath, err := modulePath("go.mod")
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader()
+	if err := loader.AddTree(".", modPath); err != nil {
+		fatal(err)
+	}
+
+	paths, err := selectPackages(loader, modPath, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "sitm-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectPackages maps command-line patterns to registered import paths.
+// No arguments or "./..." selects every package in the module.
+func selectPackages(loader *lint.Loader, modPath string, args []string) ([]string, error) {
+	if len(args) == 0 {
+		return loader.Paths(), nil
+	}
+	var out []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			return loader.Paths(), nil
+		}
+		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(arg, "./")))
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + rel
+		}
+		if strings.HasSuffix(imp, "/...") {
+			prefix := strings.TrimSuffix(imp, "...")
+			matched := false
+			for _, p := range loader.Paths() {
+				if p+"/" == prefix || strings.HasPrefix(p, prefix) {
+					out = append(out, p)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("sitm-lint: no packages match %q", arg)
+			}
+			continue
+		}
+		out = append(out, imp)
+	}
+	return out, nil
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// modulePath reads the module path from go.mod; sitm-lint runs from the
+// module root by construction (go run ./cmd/sitm-lint).
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("sitm-lint: must run from the module root: %w", err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("sitm-lint: no module line in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "sitm-lint: %v\n", err)
+	os.Exit(1)
+}

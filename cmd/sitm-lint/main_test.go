@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the real
+// tree, so `go test ./...` fails on any new violation even before CI's
+// dedicated lint job runs.
+func TestRepositoryIsLintClean(t *testing.T) {
+	loader := lint.NewLoader()
+	if err := loader.AddTree("../..", "repro"); err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*lint.Package
+	for _, p := range loader.Paths() {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			t.Fatalf("loading %s: %v", p, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

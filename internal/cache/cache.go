@@ -230,6 +230,8 @@ func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
 // it on every core other than the committer for each committed line (§4.4).
 // The version-list entry changed too, so the cached translation (and the
 // partition-resident version-list line) are dropped as well.
+//
+//sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
 func (h *Hierarchy) Invalidate(line mem.Line) {
 	h.l1.invalidate(line)
 	h.l2.invalidate(line)

@@ -1,0 +1,124 @@
+// Package analysistest runs sitm-lint analyzers over GOPATH-style
+// testdata trees and checks their diagnostics against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest on the
+// stdlib-only framework of internal/lint.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches `// want "regexp"` expectations in testdata sources;
+// several may appear in one comment. Both backtick and double-quote
+// delimiters are accepted (backticks cannot appear inside a Go line
+// comment's backtick form, so quotes are the common case here).
+var wantRe = regexp.MustCompile("want\\s+(?:`([^`]*)`|\"([^\"]*)\")")
+
+// RunTest loads the given packages from dir/src (GOPATH-style: the import
+// path is the directory relative to src), applies the analyzer, and
+// checks its diagnostics against the `// want "regexp"` comments in the
+// sources, exactly like golang.org/x/tools' analysistest. A diagnostic
+// must match a want on its line; every want must be matched.
+func RunTest(t *testing.T, dir string, a *lint.Analyzer, importPaths ...string) {
+	t.Helper()
+	loader := lint.NewLoader()
+	if err := loader.AddTree(filepath.Join(dir, "src"), ""); err != nil {
+		t.Fatalf("registering testdata: %v", err)
+	}
+	for _, importPath := range importPaths {
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			t.Fatalf("loading %s: %v", importPath, err)
+		}
+		diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, importPath, err)
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// want is one expectation parsed from a testdata comment.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the expectations from every file of the package.
+func parseWants(t *testing.T, pkg *lint.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		for i, lineText := range strings.Split(string(src), "\n") {
+			idx := strings.Index(lineText, "// want ")
+			if idx < 0 {
+				continue
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(lineText[idx:], -1) {
+				expr := m[1]
+				if expr == "" {
+					expr = m[2]
+				}
+				re, err := regexp.Compile(expr)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, expr, err)
+				}
+				wants = append(wants, &want{file: name, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return wants
+}
+
+func checkWants(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		if w := matchWant(wants, d.Pos, d.Message); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// matchWant finds an unmatched expectation on the diagnostic's line whose
+// pattern matches the message.
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			return w
+		}
+	}
+	return nil
+}
+
+// Testdata returns the conventional testdata directory for the calling
+// test's package.
+func Testdata() string {
+	wd, err := os.Getwd()
+	if err != nil {
+		panic(fmt.Sprintf("lint: getwd: %v", err))
+	}
+	return filepath.Join(wd, "testdata")
+}

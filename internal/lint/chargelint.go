@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChargedPackagePaths are the packages that model simulated memory and
+// must account every access in cycles: the cache hierarchy and the
+// multiversioned memory.
+var ChargedPackagePaths = map[string]bool{
+	"repro/internal/cache": true,
+	"repro/internal/mvm":   true,
+}
+
+// chargeTouchFuncs are the package-internal routines that walk simulated
+// storage (cache tag arrays, version lists). An exported function that
+// calls one of them is dereferencing simulated memory.
+var chargeTouchFuncs = map[string]bool{
+	"access": true, "invalidate": true, "visible": true, "gc": true,
+}
+
+// chargeTouchFields are the struct fields that hold simulated data
+// contents; selecting one dereferences simulated memory.
+var chargeTouchFields = map[string]bool{
+	"data": true,
+}
+
+// ChargeLint ensures no simulated-memory access escapes latency
+// accounting: an exported function in a charged package whose body
+// dereferences simulated storage must either thread a cycle-charging
+// parameter (*clock.Clock, *sched.Thread or a clock.Timestamp snapshot
+// point) or return the access latency in cycles (uint64). Deliberate
+// exceptions — measurement scans, non-transactional initialisation —
+// carry a //sitm:allow(chargelint) directive stating why.
+var ChargeLint = &Analyzer{
+	Name: "chargelint",
+	Doc: `simulated-memory accessors must charge cycles
+
+The timing results (Figure 8) are only as good as the latency model: a
+helper that reads version lists or cache tags without charging cycles is
+a free memory access the simulated hardware would have paid for. Exported
+entry points that touch simulated storage must take a charging parameter
+or return their latency.`,
+	Run: runChargeLint,
+}
+
+func runChargeLint(pass *Pass) error {
+	if !ChargedPackagePaths[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !fn.Name.IsExported() {
+				continue
+			}
+			if recv := receiverTypeName(fn); recv != "" && !ast.IsExported(recv) {
+				continue // methods on unexported types are internal
+			}
+			if !touchesSimMemory(pass, fn.Body) {
+				continue
+			}
+			if chargesCycles(pass, fn.Type) {
+				continue
+			}
+			pass.Reportf(fn.Name.Pos(), "exported %s dereferences simulated memory without charging cycles: take a *clock.Clock, *sched.Thread or clock.Timestamp parameter, return the latency (uint64), or document the exception with //sitm:allow(chargelint)", fn.Name.Name)
+		}
+	}
+	return nil
+}
+
+// receiverTypeName returns the name of the method receiver's base type,
+// or "" for plain functions.
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// touchesSimMemory reports whether body calls a storage-walking routine
+// or selects a simulated-data field of this package.
+func touchesSimMemory(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if obj := calleeObject(pass, n); obj != nil &&
+				obj.Pkg() == pass.Pkg && !obj.Exported() && chargeTouchFuncs[obj.Name()] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if sel := pass.Info.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				obj := sel.Obj()
+				if obj.Pkg() == pass.Pkg && chargeTouchFields[obj.Name()] {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeObject resolves the function or method object a call invokes.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// chargesCycles reports whether the signature threads a charging
+// parameter or returns a latency.
+func chargesCycles(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			if isChargingType(pass.Info.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			if t := pass.Info.TypeOf(field.Type); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Uint64 {
+					// uint64 results are latencies in cycles by
+					// convention (cache.Hierarchy.Access), except
+					// named types like clock.Timestamp.
+					if _, named := t.(*types.Named); !named {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isChargingType matches *clock.Clock, *sched.Thread and clock.Timestamp.
+func isChargingType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	name, pkg := named.Obj().Name(), named.Obj().Pkg().Path()
+	switch name {
+	case "Clock", "Timestamp":
+		return pkg == "clock" || strings.HasSuffix(pkg, "/clock")
+	case "Thread":
+		return pkg == "sched" || strings.HasSuffix(pkg, "/sched")
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// TestChargeLint checks the cycle-accounting contract on a stand-in
+// memory package: exported entry points that dereference simulated
+// storage must thread a charging parameter or return a latency.
+func TestChargeLint(t *testing.T) {
+	lint.ChargedPackagePaths["charge"] = true
+	t.Cleanup(func() { delete(lint.ChargedPackagePaths, "charge") })
+	analysistest.RunTest(t, analysistest.Testdata(), lint.ChargeLint, "charge")
+}

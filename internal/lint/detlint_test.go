@@ -1,0 +1,44 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// TestDetLint exercises every nondeterminism source on a stand-in
+// simulation package, and the goroutine/select exemption on a stand-in
+// scheduler package.
+func TestDetLint(t *testing.T) {
+	lint.SimPackagePaths["detsim"] = true
+	lint.SimPackagePaths["detsched"] = true
+	lint.ConcurrencyExemptPaths["detsched"] = true
+	t.Cleanup(func() {
+		delete(lint.SimPackagePaths, "detsim")
+		delete(lint.SimPackagePaths, "detsched")
+		delete(lint.ConcurrencyExemptPaths, "detsched")
+	})
+	analysistest.RunTest(t, analysistest.Testdata(), lint.DetLint, "detsim", "detsched")
+}
+
+// TestDetLintIgnoresOtherPackages verifies the analyzer is scoped: the
+// same fixture produces no findings when its path is not registered as a
+// simulation package.
+func TestDetLintIgnoresOtherPackages(t *testing.T) {
+	loader := lint.NewLoader()
+	if err := loader.AddTree(analysistest.Testdata()+"/src", ""); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("detsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.DetLint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("detlint fired outside simulation packages: %v", diags)
+	}
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// EngineLint enforces the PR 1 construction discipline: tm.Engine
+// implementations are built through the engine registry
+// (tm.NewEngine / self-registered factories), never by writing a struct
+// literal of an engine type in consumer code. Literals are allowed only
+// inside the engine's defining package (where its New constructor lives)
+// and in register.go files (the registration glue).
+var EngineLint = &Analyzer{
+	Name: "enginelint",
+	Doc: `engines must be constructed through the tm registry
+
+A direct struct literal of an engine type bypasses the registered
+factory: it skips option mapping, produces engines the experiment runner
+cannot name, and couples consumers to engine internals. Construct
+engines with tm.NewEngine(name, opts); inside an engine package, use its
+New constructor.`,
+	Run: runEngineLint,
+}
+
+func runEngineLint(pass *Pass) error {
+	iface := findEngineInterface(pass.Pkg)
+	if iface == nil {
+		return nil // package cannot see tm.Engine, so no engine types either
+	}
+	for _, f := range pass.Files {
+		allowed := filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "register.go"
+		if allowed {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(lit)
+			if t == nil {
+				return true
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg() == pass.Pkg {
+				return true
+			}
+			if _, isStruct := named.Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			if !types.Implements(types.NewPointer(named), iface) && !types.Implements(named, iface) {
+				return true
+			}
+			pass.Reportf(lit.Pos(), "direct construction of engine %s.%s bypasses the tm registry; use tm.NewEngine(%q, opts) (or the package's New constructor from register.go)",
+				named.Obj().Pkg().Name(), named.Obj().Name(), named.Obj().Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// findEngineInterface locates the tm.Engine interface among the package's
+// transitive imports (packages implementing or consuming engines always
+// import tm, directly or through the engine package).
+func findEngineInterface(root *types.Package) *types.Interface {
+	seen := map[*types.Package]bool{}
+	var walk func(p *types.Package) *types.Interface
+	walk = func(p *types.Package) *types.Interface {
+		if seen[p] {
+			return nil
+		}
+		seen[p] = true
+		if isTMPath(p.Path()) {
+			if obj, ok := p.Scope().Lookup("Engine").(*types.TypeName); ok {
+				if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+					return iface
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			if iface := walk(imp); iface != nil {
+				return iface
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// isTMPath matches the tm package (and testdata stand-ins named tm).
+func isTMPath(path string) bool {
+	return path == "repro/internal/tm" || path == "tm" || strings.HasSuffix(path, "/tm")
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// TestEngineLint checks that direct engine struct literals are flagged in
+// consumer code, while the defining package, register.go files,
+// constructor calls and non-engine literals pass.
+func TestEngineLint(t *testing.T) {
+	analysistest.RunTest(t, analysistest.Testdata(), lint.EngineLint, "engineuse", "engines")
+}

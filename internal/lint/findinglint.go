@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// findingRequiredFields are the report.Finding fields every literal must
+// set: a finding with an empty check name, an unset verdict or no detail
+// is useless in the verification report.
+var findingRequiredFields = []string{"Check", "OK", "Detail"}
+
+// FindingLint requires every report.Finding composite literal to set
+// Check, OK and Detail explicitly.
+var FindingLint = &Analyzer{
+	Name: "findinglint",
+	Doc: `report.Finding literals must set Check, OK and Detail
+
+The shape checks of EXPERIMENTS.md surface through report.Finding values;
+sitm-bench -verify fails the reproduction on any finding with OK=false.
+A literal that forgets OK silently passes, and one without Check or
+Detail produces an undebuggable report line. Keyed literals must name all
+three fields (positional literals necessarily set everything).`,
+	Run: runFindingLint,
+}
+
+func runFindingLint(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			named, ok := pass.Info.TypeOf(lit).(*types.Named)
+			if !ok || !isFindingType(named) {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			// A positional literal must populate every field; only keyed
+			// (or empty) literals can omit one.
+			if len(lit.Elts) > 0 {
+				if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+					return true
+				}
+			}
+			missing := map[string]bool{}
+			for _, name := range findingRequiredFields {
+				if hasField(st, name) {
+					missing[name] = true
+				}
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					delete(missing, key.Name)
+				}
+			}
+			if len(missing) > 0 {
+				names := make([]string, 0, len(missing))
+				for name := range missing {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				pass.Reportf(lit.Pos(), "report.Finding literal does not set %s: every finding needs its check name, verdict and measured detail", strings.Join(names, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFindingType matches report.Finding (and testdata stand-ins: a type
+// named Finding in a package named report).
+func isFindingType(named *types.Named) bool {
+	obj := named.Obj()
+	return obj.Name() == "Finding" && obj.Pkg() != nil && obj.Pkg().Name() == "report"
+}
+
+// hasField reports whether the struct declares a field with this name.
+func hasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}

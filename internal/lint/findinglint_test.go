@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// TestFindingLint checks that report.Finding literals missing Check, OK
+// or Detail are flagged, in the defining package and in consumers, while
+// complete keyed and positional literals pass.
+func TestFindingLint(t *testing.T) {
+	analysistest.RunTest(t, analysistest.Testdata(), lint.FindingLint, "report", "findinguse")
+}

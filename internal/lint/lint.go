@@ -1,0 +1,192 @@
+// Package lint implements sitm-lint: custom static-analysis passes that
+// enforce the invariants the evaluation rests on — simulator determinism
+// (byte-identical reports at any -workers count) and the TM-engine
+// protocol rules of the paper.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Report, a `// want`-driven analysistest) but is built
+// entirely on the standard library's go/ast and go/types, because this
+// module deliberately has no external dependencies. If the repo ever
+// vendors x/tools, porting an analyzer is mechanical: the Run signature
+// and reporting API match.
+//
+// Suppression: a diagnostic is intentional when the offending line, or
+// the doc comment of the enclosing declaration, carries an explicit
+// allowlist directive naming the analyzer:
+//
+//	//sitm:allow(chargelint) non-transactional initialisation is uncharged (§3)
+//
+// Allowlisting is a documented design decision, not an escape hatch: the
+// directive must name the analyzer, and the reason is part of the source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// An Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and allow directives.
+	Name string
+	// Doc is the one-paragraph description printed by sitm-lint -help.
+	Doc string
+	// Run applies the pass to one package, reporting findings on pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects an Analyzer run to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		pos:      pos,
+	})
+}
+
+// Diagnostic is one finding of one analyzer, with its resolved position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+
+	pos token.Pos // raw position, for suppression-span checks
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// allowRe matches allowlist directives; group 1 is the analyzer name.
+var allowRe = regexp.MustCompile(`//sitm:allow\(([a-z]+)\)`)
+
+// allowIndex records where //sitm:allow directives appear in one package.
+type allowIndex struct {
+	fset *token.FileSet
+	// line suppressions: file -> line -> analyzer set.
+	lines map[string]map[int]map[string]bool
+	// declaration suppressions: analyzer -> position ranges.
+	spans map[string][]span
+}
+
+type span struct{ start, end token.Pos }
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{fset: fset, lines: map[string]map[int]map[string]bool{}, spans: map[string][]span{}}
+	addLine := func(pos token.Position, name string) {
+		byLine := ix.lines[pos.Filename]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			ix.lines[pos.Filename] = byLine
+		}
+		set := byLine[pos.Line]
+		if set == nil {
+			set = map[string]bool{}
+			byLine[pos.Line] = set
+		}
+		set[name] = true
+	}
+	for _, f := range files {
+		// Every directive suppresses on its own line (trailing comments)
+		// and on the following line (standalone comment above a
+		// statement).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := fset.Position(c.Pos())
+					addLine(pos, m[1])
+					pos.Line++
+					addLine(pos, m[1])
+				}
+			}
+		}
+		// A directive in a declaration's doc comment suppresses the whole
+		// declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				for _, m := range allowRe.FindAllStringSubmatch(c.Text, -1) {
+					ix.spans[m[1]] = append(ix.spans[m[1]], span{decl.Pos(), decl.End()})
+				}
+			}
+		}
+	}
+	return ix
+}
+
+func (ix *allowIndex) allows(d Diagnostic) bool {
+	if byLine := ix.lines[d.Pos.Filename]; byLine != nil && byLine[d.Pos.Line][d.Analyzer] {
+		return true
+	}
+	for _, s := range ix.spans[d.Analyzer] {
+		if s.start <= d.pos && d.pos < s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// through the //sitm:allow directives, and returns the survivors sorted
+// by file position. Analyzer errors (not diagnostics) abort the run.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ix := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+			for _, d := range pass.diags {
+				if !ix.allows(d) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// All returns the full sitm-lint suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{DetLint, EngineLint, ChargeLint, FindingLint}
+}

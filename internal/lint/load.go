@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File // non-test files, sorted by file name
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages from directory trees registered
+// with AddTree, resolving in-tree imports from source and delegating
+// everything else (the standard library) to the compiler's source
+// importer. It exists because this module vendors no dependencies: with
+// golang.org/x/tools unavailable, go/packages cannot be used, and the
+// stock source importer only understands GOROOT/GOPATH layouts.
+//
+// Only non-test files are loaded: the determinism contract applies to
+// simulation code, while tests legitimately use wall-clock timeouts,
+// goroutines and unordered iteration.
+type Loader struct {
+	fset    *token.FileSet
+	dirs    map[string]string // import path -> directory
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		dirs:    map[string]string{},
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+}
+
+// AddTree walks root and registers every directory containing non-test Go
+// files under the import-path prefix (the module path, or "" for
+// GOPATH-style testdata trees). testdata, hidden and underscore
+// directories are skipped.
+func (l *Loader) AddTree(root, prefix string) error {
+	return filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, err := goFiles(p)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		imp := path.Join(prefix, filepath.ToSlash(rel))
+		l.dirs[imp] = p
+		return nil
+	})
+}
+
+// Paths returns the registered import paths, sorted.
+func (l *Loader) Paths() []string {
+	out := make([]string, 0, len(l.dirs))
+	for p := range l.dirs {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goFiles lists the non-test .go files of dir, sorted.
+func goFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Load parses and type-checks the package at the given import path
+// (previously registered via AddTree), loading its in-tree dependencies
+// first. Results are cached.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	dir, ok := l.dirs[importPath]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %q not registered", importPath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %q", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	names, err := goFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importerFunc(l.importPkg)}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	pkg := &Package{Path: importPath, Dir: dir, Fset: l.fset, Files: files, Pkg: tpkg, Info: info}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import during type-checking.
+func (l *Loader) importPkg(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirs[importPath]; ok {
+		pkg, err := l.Load(importPath)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return l.std.Import(importPath)
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,97 @@
+// Package charge is a chargelint fixture: a stand-in for the cache/mvm
+// packages whose exported entry points must charge cycles when they
+// dereference simulated memory.
+package charge
+
+import (
+	"clock"
+	"sched"
+)
+
+// version mimics mvm's version: data holds simulated memory contents.
+type version struct {
+	ts   clock.Timestamp
+	data [8]uint64
+}
+
+// level mimics cache's level: access walks simulated tag storage.
+type level struct {
+	tags []uint64
+}
+
+func (l *level) access(line uint64) bool {
+	for _, t := range l.tags {
+		if t == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (vl *Memory) visible(at clock.Timestamp) *version {
+	for i := len(vl.v) - 1; i >= 0; i-- {
+		if vl.v[i].ts <= at {
+			return &vl.v[i]
+		}
+	}
+	return nil
+}
+
+// Memory mimics mvm.Memory.
+type Memory struct {
+	v  []version
+	l1 *level
+}
+
+// ReadWord charges through its snapshot timestamp parameter.
+func (m *Memory) ReadWord(w int, at clock.Timestamp) uint64 {
+	if v := m.visible(at); v != nil {
+		return v.data[w]
+	}
+	return 0
+}
+
+// Access returns its latency in cycles: charged.
+func (m *Memory) Access(line uint64) uint64 {
+	if m.l1.access(line) {
+		return 4
+	}
+	return 100
+}
+
+// Charge threads the simulated thread: charged.
+func (m *Memory) Charge(t *sched.Thread, line uint64) bool {
+	return m.l1.access(line)
+}
+
+func (m *Memory) Newest(w int) [8]uint64 { // want "without charging cycles"
+	return [8]uint64{m.v[len(m.v)-1].data[w]}
+}
+
+func (m *Memory) Probe(line uint64) bool { // want "without charging cycles"
+	return m.l1.access(line)
+}
+
+// Scan is a deliberate exception with a documented allowlist directive.
+//
+//sitm:allow(chargelint) fixture: measurement scan off the access path
+func (m *Memory) Scan() int {
+	n := 0
+	for i := range m.v {
+		if m.v[i].data[0] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// stats is unexported: internal helpers are not entry points.
+func (m *Memory) stats() uint64 {
+	return m.v[0].data[0]
+}
+
+// Meta touches only version metadata, never simulated data or storage
+// walkers: not flagged.
+func (m *Memory) Meta() int {
+	return len(m.v)
+}

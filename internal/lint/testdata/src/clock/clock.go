@@ -1,0 +1,11 @@
+// Package clock is a chargelint fixture standing in for
+// repro/internal/clock.
+package clock
+
+// Timestamp is a simulated commit timestamp.
+type Timestamp uint64
+
+// Clock is the simulated global clock.
+type Clock struct {
+	now Timestamp
+}

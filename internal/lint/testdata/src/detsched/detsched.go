@@ -1,0 +1,23 @@
+// Package detsched is a detlint fixture standing in for internal/sched:
+// a concurrency-exempt package may spawn goroutines and select (it
+// confines them behind its own determinism machinery), but wall-clock
+// reads stay forbidden.
+package detsched
+
+import "time"
+
+func RunThreads(n int) {
+	done := make(chan int)
+	for i := 0; i < n; i++ {
+		go func() { done <- 1 }() // exempt: no finding
+	}
+	for i := 0; i < n; i++ {
+		select { // exempt: no finding
+		case <-done:
+		}
+	}
+}
+
+func Deadline() int64 {
+	return time.Now().UnixNano() // want "wall-clock read"
+}

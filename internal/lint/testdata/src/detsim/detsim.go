@@ -1,0 +1,96 @@
+// Package detsim is a detlint fixture: a stand-in simulation package
+// exercising every nondeterminism source the analyzer forbids and every
+// idiom it must recognise as deterministic.
+package detsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func Timestamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock read"
+}
+
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wall-clock read"
+}
+
+func Roll() int {
+	return rand.Intn(6) // want "global math/rand"
+}
+
+// SeededRoll draws from an explicitly seeded generator: deterministic.
+func SeededRoll(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+func Spawn(done chan int) {
+	go func() { done <- 1 }() // want "goroutine in simulation code"
+}
+
+func Pick(a, b chan int) int {
+	select { // want "select in simulation code"
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// SortedKeys is the sanctioned collection idiom: the sort erases the map
+// iteration order, so the range is not flagged.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func UnsortedValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want "appends to a slice"
+		out = append(out, v)
+	}
+	return out
+}
+
+func Dump(m map[string]int) {
+	for k, v := range m { // want "writes output"
+		fmt.Println(k, v)
+	}
+}
+
+func Mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "accumulates floating-point"
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// Count is order-insensitive: integer counting is commutative over any
+// iteration order.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sanctioned documents a deliberate wall-clock read with an allowlist
+// directive in its doc comment.
+//
+//sitm:allow(detlint) fixture: demonstrates declaration-level suppression
+func Sanctioned() int64 {
+	return time.Now().UnixNano()
+}
+
+func InlineSanctioned() int64 {
+	return time.Now().UnixNano() //sitm:allow(detlint) fixture: line-level suppression
+}

@@ -1,0 +1,28 @@
+// Package engines is an enginelint fixture: it defines an Engine
+// implementation. Struct literals of the engine type are legal here — the
+// defining package owns its constructor.
+package engines
+
+import "tm"
+
+// Config is plain configuration, not an engine: literals of it are fine
+// anywhere.
+type Config struct {
+	Threads int
+}
+
+// Engine implements tm.Engine.
+type Engine struct {
+	cfg Config
+}
+
+func (e *Engine) Name() string { return "fixture" }
+func (e *Engine) Begin() int   { return 0 }
+
+// New is the constructor the registry factory calls; the literal is in
+// the defining package and therefore allowed.
+func New(cfg Config) *Engine {
+	return &Engine{cfg: cfg}
+}
+
+var _ tm.Engine = (*Engine)(nil)

@@ -1,0 +1,20 @@
+// Package engineuse is an enginelint fixture: consumer code that
+// constructs engines. Direct struct literals of engine types are flagged;
+// constructor calls and non-engine literals are not.
+package engineuse
+
+import "engines"
+
+func Direct() *engines.Engine {
+	return &engines.Engine{} // want "bypasses the tm registry"
+}
+
+func DirectValue() engines.Engine {
+	return engines.Engine{} // want "bypasses the tm registry"
+}
+
+// ViaConstructor builds through the defining package's New; enginelint
+// does not flag constructor calls — only literals.
+func ViaConstructor() *engines.Engine {
+	return engines.New(engines.Config{Threads: 4})
+}

@@ -1,0 +1,33 @@
+// Package findinguse is a findinglint fixture: consumer code building
+// report.Finding values.
+package findinguse
+
+import "report"
+
+func Good(share float64) report.Finding {
+	return report.Finding{
+		Check:  "fig1 rw-dominated",
+		OK:     share >= 0.75,
+		Detail: "measured share",
+	}
+}
+
+// Positional literals necessarily set every field.
+func Positional() report.Finding {
+	return report.Finding{"check", true, "detail"}
+}
+
+func MissingDetail() report.Finding {
+	return report.Finding{Check: "fig7 si<=2pl", OK: true} // want "does not set Detail"
+}
+
+func Empty() report.Finding {
+	return report.Finding{} // want "does not set Check, Detail, OK"
+}
+
+func InSlice() report.Findings {
+	return report.Findings{
+		{Check: "a", OK: true, Detail: "ok"},
+		{Check: "b", OK: false}, // want "does not set Detail"
+	}
+}

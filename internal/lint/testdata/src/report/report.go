@@ -1,0 +1,25 @@
+// Package report is a findinglint fixture standing in for
+// repro/internal/report: the analyzer matches the Finding type by name in
+// any package named report, including literals inside the defining
+// package itself.
+package report
+
+// Finding is one shape-check outcome.
+type Finding struct {
+	Check  string
+	OK     bool
+	Detail string
+}
+
+// Findings is the full report.
+type Findings []Finding
+
+// Complete builds a fully specified finding.
+func Complete(check string, ok bool, detail string) Finding {
+	return Finding{Check: check, OK: ok, Detail: detail}
+}
+
+// Incomplete forgets the verdict even in the defining package.
+func Incomplete(check string) Finding {
+	return Finding{Check: check, Detail: "n/a"} // want "does not set OK"
+}

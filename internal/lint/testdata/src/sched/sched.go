@@ -1,0 +1,8 @@
+// Package sched is a chargelint fixture standing in for
+// repro/internal/sched.
+package sched
+
+// Thread is a simulated logical thread that accumulates cycles.
+type Thread struct {
+	cycles uint64
+}

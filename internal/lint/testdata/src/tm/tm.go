@@ -1,0 +1,10 @@
+// Package tm is an enginelint fixture standing in for repro/internal/tm:
+// the analyzer locates the Engine interface by its name in a package
+// whose import path ends in "tm".
+package tm
+
+// Engine is the transactional-memory engine interface of the fixture.
+type Engine interface {
+	Name() string
+	Begin() int
+}

@@ -98,6 +98,8 @@ func (d DedupStats) SharablePct() float64 {
 
 // MeasureDedup scans the newest versions and reports the deduplication
 // opportunity.
+//
+//sitm:allow(chargelint) offline measurement scan (§3.3 analysis), not on the simulated access path; no transaction pays for it.
 func (m *Memory) MeasureDedup() DedupStats {
 	var d DedupStats
 	seen := make(map[[mem.WordsPerLine]uint64]int)

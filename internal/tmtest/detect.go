@@ -1,0 +1,37 @@
+package tmtest
+
+// Isolation classifies an engine's observable isolation level, probed
+// behaviourally rather than declared: the registry sweep uses it to pick
+// the right suite for engines it has never heard of.
+type Isolation int
+
+const (
+	// SnapshotIsolation engines permit the write-skew anomaly: both
+	// Listing 1 transactions commit (§2, §5).
+	SnapshotIsolation Isolation = iota
+	// Serializable engines reject the write-skew schedule: at least one
+	// of the two transactions aborts.
+	Serializable
+)
+
+func (i Isolation) String() string {
+	switch i {
+	case SnapshotIsolation:
+		return "snapshot-isolation"
+	case Serializable:
+		return "serializable"
+	}
+	return "unknown"
+}
+
+// DetectIsolation probes a fresh engine with the Listing 1 write-skew
+// schedule and classifies the result. Engines that permit the anomaly
+// run under snapshot isolation; engines that abort it are (at least
+// conflict-) serializable on this litmus.
+func DetectIsolation(f Factory) Isolation {
+	aborts, _ := skewSchedule(f())
+	if aborts == 0 {
+		return SnapshotIsolation
+	}
+	return Serializable
+}
