@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/exp"
+	"repro/internal/mem"
+	"repro/internal/mvm"
+	"repro/internal/sched"
+)
+
+// benchSection is the benchmark record of one figure or table sweep: its
+// wall-clock cost and the simulated work it got through. The simulated
+// throughput (Mcycles/s) is the sum of every cell's makespan divided by
+// the section's wall time, so it reflects the whole pipeline — setup,
+// simulation and rendering — not just the simulator inner loop.
+type benchSection struct {
+	Name             string  `json:"name"`
+	Cells            uint64  `json:"cells"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	SimCycles        uint64  `json:"sim_cycles"`
+	SimMcyclesPerSec float64 `json:"sim_mcycles_per_sec"`
+}
+
+// benchHotPath is the measurement of one simulator hot path, taken with
+// testing.Benchmark at report time.
+type benchHotPath struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchReport is the -json artefact (BENCH_PR3.json). The schema is
+// documented in EXPERIMENTS.md ("Benchmark trajectory").
+type benchReport struct {
+	Command  string         `json:"command"`
+	Workers  int            `json:"workers"`
+	Seeds    []uint64       `json:"seeds"`
+	Sections []benchSection `json:"sections"`
+	HotPaths []benchHotPath `json:"hot_paths"`
+}
+
+// benchCollector accumulates per-cell simulated cycles (fed concurrently
+// by the harness CellDone hook) and section wall times.
+type benchCollector struct {
+	report    benchReport
+	cells     atomic.Uint64
+	simCycles atomic.Uint64
+	started   time.Time
+}
+
+// newBenchCollector starts a collector describing the current invocation.
+func newBenchCollector(workers int, seeds []uint64) *benchCollector {
+	args := append([]string{filepath.Base(os.Args[0])}, os.Args[1:]...)
+	return &benchCollector{report: benchReport{
+		Command: strings.Join(args, " "),
+		Workers: workers,
+		Seeds:   seeds,
+	}}
+}
+
+// cellDone is the harness CellDone hook; safe for concurrent calls.
+func (b *benchCollector) cellDone(_ exp.Cell, sim uint64) {
+	b.cells.Add(1)
+	b.simCycles.Add(sim)
+}
+
+// begin opens a section: zeroes the cell counters and stamps the clock.
+// Safe on a nil collector (no -json), like end.
+func (b *benchCollector) begin() {
+	if b == nil {
+		return
+	}
+	b.cells.Store(0)
+	b.simCycles.Store(0)
+	b.started = time.Now()
+}
+
+// end closes the section opened by begin and records it under name.
+func (b *benchCollector) end(name string) {
+	if b == nil {
+		return
+	}
+	wall := time.Since(b.started).Seconds()
+	s := benchSection{
+		Name:        name,
+		Cells:       b.cells.Load(),
+		WallSeconds: wall,
+		SimCycles:   b.simCycles.Load(),
+	}
+	if wall > 0 {
+		s.SimMcyclesPerSec = float64(s.SimCycles) / wall / 1e6
+	}
+	b.report.Sections = append(b.report.Sections, s)
+}
+
+// write measures the hot paths and writes the JSON artefact.
+func (b *benchCollector) write(path string) error {
+	b.report.HotPaths = measureHotPaths()
+	data, err := json.MarshalIndent(&b.report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureHotPaths benchmarks the two allocation-free hot paths the PR's
+// acceptance criteria pin — the scheduler Tick fast path and the MVM
+// steady-state Install — with the same shapes as the package benchmarks
+// (BenchmarkTick in internal/sched, BenchmarkInstall in internal/mvm).
+func measureHotPaths() []benchHotPath {
+	tick := testing.Benchmark(func(b *testing.B) {
+		s := sched.New(2, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		s.Run(func(th *sched.Thread) {
+			if th.ID() == 0 {
+				for i := 0; i < b.N; i++ {
+					th.Tick(1)
+				}
+			} else {
+				th.Tick(uint64(b.N) + 2)
+			}
+		})
+	})
+	install := testing.Benchmark(func(b *testing.B) {
+		clk := clock.New()
+		active := clock.NewActiveTable()
+		m := mvm.New(mvm.DefaultConfig(), clk, active)
+		const line = mem.Line(1)
+		var words [mem.WordsPerLine]uint64
+		install := func(i int) {
+			ts := clk.ReserveEnd()
+			words[0] = uint64(i)
+			if _, err := m.Install(line, ts, m.NewestLine(line), 1, &words); err != nil {
+				b.Fatal(err)
+			}
+			clk.CompleteEnd(ts)
+		}
+		for i := 0; i < 16; i++ {
+			install(i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			install(i)
+		}
+	})
+	out := []benchHotPath{
+		{Name: "sched.Tick", NsPerOp: float64(tick.T.Nanoseconds()) / float64(tick.N), AllocsPerOp: tick.AllocsPerOp()},
+		{Name: "mvm.Install", NsPerOp: float64(install.T.Nanoseconds()) / float64(install.N), AllocsPerOp: install.AllocsPerOp()},
+	}
+	for _, hp := range out {
+		if hp.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "sitm-bench: warning: %s allocates %d allocs/op (expected 0)\n", hp.Name, hp.AllocsPerOp)
+		}
+	}
+	return out
+}

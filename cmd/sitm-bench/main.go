@@ -48,6 +48,7 @@ func main() {
 		chart      = flag.Bool("chart", false, "also render Figure 7/8 series as ASCII charts")
 		scale      = flag.Int("scale", 1, "workload size multiplier (larger approaches the paper's inputs)")
 		mvmStats   = flag.Bool("mvm", false, "report the §3 MVM behaviour (coalescing, GC, overheads, dedup) per workload")
+		jsonPath   = flag.String("json", "", "write a machine-readable benchmark trajectory (wall time, simulated Mcycles/s and hot-path allocs per section) to this file")
 	)
 	flag.Parse()
 
@@ -77,6 +78,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%s)\n", p.Done, p.Total, p.Cell, p.Wall.Round(time.Millisecond))
 		}
 	}
+	var bench *benchCollector
+	if *jsonPath != "" {
+		bench = newBenchCollector(o.Workers, o.Seeds)
+		o.CellDone = bench.cellDone
+	}
 
 	ran := false
 	var findings report.Findings
@@ -86,7 +92,9 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 1 {
+		bench.begin()
 		results := harness.Figure1(os.Stdout, *threads, o)
+		bench.end("figure1")
 		if *verify {
 			shares := make(map[string]float64, len(results))
 			for _, r := range results {
@@ -100,7 +108,9 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 7 {
+		bench.begin()
 		data := harness.Figure7(os.Stdout, o)
+		bench.end("figure7")
 		writeCSV(*csvDir, "figure7.csv", func(w *os.File) error { return harness.WriteFigure7CSV(w, data) })
 		if *chart {
 			chartFigure7(data)
@@ -112,7 +122,9 @@ func main() {
 		ran = true
 	}
 	if *all || *fig == 8 {
+		bench.begin()
 		data := harness.Figure8(os.Stdout, o)
+		bench.end("figure8")
 		writeCSV(*csvDir, "figure8.csv", func(w *os.File) error { return harness.WriteFigure8CSV(w, data) })
 		if *chart {
 			chartFigure8(data)
@@ -124,7 +136,9 @@ func main() {
 		ran = true
 	}
 	if *all || *table == 2 {
+		bench.begin()
 		data := harness.Table2(os.Stdout, *threads, o)
+		bench.end("table2")
 		writeCSV(*csvDir, "table2.csv", func(w *os.File) error { return harness.WriteTable2CSV(w, data) })
 		if *verify {
 			findings = append(findings, report.CheckTable2(data)...)
@@ -133,9 +147,18 @@ func main() {
 		ran = true
 	}
 	if *all || *mvmStats {
+		bench.begin()
 		harness.MVMReport(os.Stdout, *threads, o)
+		bench.end("mvm")
 		fmt.Println()
 		ran = true
+	}
+	if bench != nil && ran {
+		if err := bench.write(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 	if !ran {
 		flag.Usage()

@@ -34,6 +34,11 @@ type Config struct {
 	// holds recently used version-list lines (§3.2). A hit hides the
 	// MVM indirection latency; 0 disables the cache.
 	XlateEntries int
+
+	// Scratch, when non-nil, recycles level backing arrays across
+	// simulations (see Scratch). It affects only allocation, never
+	// simulated behaviour. Not part of the simulated architecture.
+	Scratch *Scratch
 }
 
 // DefaultConfig returns the simulated architecture of Table 1.
@@ -61,10 +66,13 @@ type level struct {
 	setMask uint64 // sets-1 when sets is a power of two, else 0
 }
 
-func newLevel(sizeBytes, ways int) *level {
+func newLevel(sizeBytes, ways int, s *Scratch) *level {
 	sets := sizeBytes / mem.LineBytes / ways
 	if sets <= 0 {
 		panic("cache: set count must be positive")
+	}
+	if l := s.acquire(sets, ways); l != nil {
+		return l
 	}
 	l := &level{
 		sets: sets, ways: ways,
@@ -90,28 +98,34 @@ func (l *level) setOf(line mem.Line) int {
 func (l *level) access(line mem.Line) bool {
 	l.clock++
 	base := l.setOf(line) * l.ways
-	victim, oldest := base, ^uint64(0)
-	for i := base; i < base+l.ways; i++ {
-		if l.tags[i] == line {
-			l.stamps[i] = l.clock
+	// Subslice the set once so the way scan runs without per-element
+	// bounds checks — this loop is the hottest line of the simulator.
+	tags := l.tags[base : base+l.ways]
+	stamps := l.stamps[base : base+l.ways]
+	victim, oldest := 0, ^uint64(0)
+	for i, tag := range tags {
+		if tag == line {
+			stamps[i] = l.clock
 			return true
 		}
-		if l.stamps[i] < oldest {
-			oldest, victim = l.stamps[i], i
+		if stamps[i] < oldest {
+			oldest, victim = stamps[i], i
 		}
 	}
-	l.tags[victim] = line
-	l.stamps[victim] = l.clock
+	tags[victim] = line
+	stamps[victim] = l.clock
 	return false
 }
 
 // invalidate removes line if present.
 func (l *level) invalidate(line mem.Line) {
 	base := l.setOf(line) * l.ways
-	for i := base; i < base+l.ways; i++ {
-		if l.tags[i] == line {
-			l.tags[i] = 0
-			l.stamps[i] = 0
+	tags := l.tags[base : base+l.ways]
+	stamps := l.stamps[base : base+l.ways]
+	for i, tag := range tags {
+		if tag == line {
+			tags[i] = 0
+			stamps[i] = 0
 		}
 	}
 }
@@ -151,18 +165,18 @@ func NewShared(cfg Config) *Shared {
 	if dataBytes <= 0 {
 		dataBytes = cfg.L3SizeBytes
 	}
-	s := &Shared{cfg: cfg, l3: newLevel(dataBytes, cfg.L3Ways)}
+	s := &Shared{cfg: cfg, l3: newLevel(dataBytes, cfg.L3Ways, cfg.Scratch)}
 	if cfg.MVMPartBytes > 0 {
-		s.mvm = newLevel(cfg.MVMPartBytes, cfg.L3Ways)
+		s.mvm = newLevel(cfg.MVMPartBytes, cfg.L3Ways, cfg.Scratch)
 	}
 	return s
 }
 
 // NewHierarchy builds one core's private hierarchy attached to shared.
 func NewHierarchy(cfg Config, shared *Shared) *Hierarchy {
-	h := &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1SizeBytes, cfg.L1Ways), l2: newLevel(cfg.L2SizeBytes, cfg.L2Ways), l3: shared}
+	h := &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1SizeBytes, cfg.L1Ways, cfg.Scratch), l2: newLevel(cfg.L2SizeBytes, cfg.L2Ways, cfg.Scratch), l3: shared}
 	if cfg.XlateEntries > 0 {
-		h.xlate = newLevel(cfg.XlateEntries*mem.LineBytes, 4)
+		h.xlate = newLevel(cfg.XlateEntries*mem.LineBytes, 4, cfg.Scratch)
 	}
 	return h
 }

@@ -106,11 +106,11 @@ func TestBadGeometryPanics(t *testing.T) {
 			t.Fatal("expected panic for a zero-set cache")
 		}
 	}()
-	newLevel(32, 3) // smaller than one way of lines
+	newLevel(32, 3, nil) // smaller than one way of lines
 }
 
 func TestNonPowerOfTwoSetsWork(t *testing.T) {
-	l := newLevel(3*64*2, 2) // 3 sets, 2 ways
+	l := newLevel(3*64*2, 2, nil) // 3 sets, 2 ways
 	for i := 1; i <= 12; i++ {
 		l.access(mem.Line(i))
 	}
@@ -126,7 +126,7 @@ func TestNonPowerOfTwoSetsWork(t *testing.T) {
 }
 
 func TestLRUReplacement(t *testing.T) {
-	l := newLevel(2*64*2, 2)                         // 2 sets, 2 ways
+	l := newLevel(2*64*2, 2, nil)                    // 2 sets, 2 ways
 	a, b, c := mem.Line(2), mem.Line(4), mem.Line(6) // all map to set 0
 	l.access(a)
 	l.access(b)

@@ -1,0 +1,77 @@
+package cache
+
+// geometry identifies interchangeable level backing arrays: two levels
+// with the same set and way counts have identically sized tag/stamp
+// storage.
+type geometry struct {
+	sets, ways int
+}
+
+// Scratch recycles the tag/stamp arrays of simulated cache levels across
+// simulations. A full hierarchy allocates several megabytes per cell
+// (Table 1's 32 MiB L3 alone is half a million tag/stamp pairs), which
+// dominated the per-cell setup cost of the evaluation sweeps; with a
+// scratch, a worker's next cell reuses the previous cell's arrays.
+//
+// Determinism: an acquired level is reset to the exact state a fresh
+// allocation would have (zero tags, zero stamps, zero clock), so a cell
+// behaves bit-identically whether its arrays are fresh or recycled.
+//
+// A Scratch is not safe for concurrent use. The harness keeps one per
+// experiment worker (shared-nothing), matching the runner's cell
+// execution model. A nil *Scratch is valid and disables pooling.
+type Scratch struct {
+	free map[geometry][]*level
+}
+
+// NewScratch returns an empty pool.
+func NewScratch() *Scratch {
+	return &Scratch{free: make(map[geometry][]*level)}
+}
+
+// acquire returns a recycled level of the given geometry reset to its
+// pristine state, or nil when the pool has none (or s is nil).
+func (s *Scratch) acquire(sets, ways int) *level {
+	if s == nil {
+		return nil
+	}
+	g := geometry{sets: sets, ways: ways}
+	pool := s.free[g]
+	if len(pool) == 0 {
+		return nil
+	}
+	l := pool[len(pool)-1]
+	s.free[g] = pool[:len(pool)-1]
+	clear(l.tags)
+	clear(l.stamps)
+	l.clock = 0
+	return l
+}
+
+// release returns a level's arrays to the pool. Safe on a nil Scratch or
+// a nil level (both no-ops).
+func (s *Scratch) release(l *level) {
+	if s == nil || l == nil {
+		return
+	}
+	g := geometry{sets: l.sets, ways: l.ways}
+	s.free[g] = append(s.free[g], l)
+}
+
+// Release returns the shared L3's arrays to the configured scratch pool.
+// The Shared must not be used afterwards.
+func (s *Shared) Release() {
+	s.cfg.Scratch.release(s.l3)
+	s.cfg.Scratch.release(s.mvm)
+	s.l3, s.mvm = nil, nil
+}
+
+// Release returns one core's private arrays to the configured scratch
+// pool. The Hierarchy must not be used afterwards; the shared L3 is
+// released separately via Shared.Release.
+func (h *Hierarchy) Release() {
+	h.cfg.Scratch.release(h.l1)
+	h.cfg.Scratch.release(h.l2)
+	h.cfg.Scratch.release(h.xlate)
+	h.l1, h.l2, h.xlate = nil, nil, nil
+}

@@ -100,77 +100,82 @@ func (c *Clock) CompleteEnd(end Timestamp) {
 func (c *Clock) InFlight() int { return len(c.inflight) }
 
 // OldestInflight returns the smallest unfinished end timestamp and true,
-// or 0 and false when no commit is in flight.
+// or 0 and false when no commit is in flight. Ends are issued
+// monotonically and CompleteEnd removes in place, so the slice stays
+// ascending and the head is the oldest — no scan.
 func (c *Clock) OldestInflight() (Timestamp, bool) {
 	if len(c.inflight) == 0 {
 		return 0, false
 	}
-	m := c.inflight[0]
-	for _, e := range c.inflight[1:] {
-		if e < m {
-			m = e
-		}
-	}
-	return m, true
+	return c.inflight[0], true
 }
 
 // Now returns the most recently issued timestamp.
 func (c *Clock) Now() Timestamp { return c.next }
 
-// ActiveTable tracks the start timestamps of in-flight transactions. The
-// paper stores these in a priority queue whose head is the oldest active
-// transaction (§3.1); the table answers the two queries the multiversioned
-// memory needs: the oldest active start (garbage collection) and whether
-// any active start falls inside a half-open interval (version coalescing).
-// The population is bounded by the hardware thread count, so linear scans
-// are exact and cheap.
+// ActiveTable tracks the start timestamps of in-flight transactions as a
+// sorted small-set (ascending). The paper stores these in a priority queue
+// whose head is the oldest active transaction (§3.1); keeping the slice
+// sorted makes the head query O(1) and lets interval and reachability
+// queries stop scanning early. The population is bounded by the hardware
+// thread count, and starts are issued monotonically, so the sorted insert
+// is an O(1) append on the hot path and the table never allocates once it
+// has grown to the thread count.
 type ActiveTable struct {
-	starts []Timestamp
+	starts []Timestamp // sorted ascending
 }
 
 // NewActiveTable returns an empty table.
 func NewActiveTable() *ActiveTable { return &ActiveTable{} }
 
-// Register records a transaction's start timestamp.
+// Register records a transaction's start timestamp. Timestamps come from
+// Clock.Begin in increasing order, so the insertion point is almost always
+// the end of the slice.
 func (t *ActiveTable) Register(s Timestamp) {
 	t.starts = append(t.starts, s)
+	for i := len(t.starts) - 1; i > 0 && t.starts[i-1] > s; i-- {
+		t.starts[i] = t.starts[i-1]
+		t.starts[i-1] = s
+	}
 }
 
-// Deregister removes one occurrence of start timestamp s. It panics if s
-// is not registered, which would indicate an engine bookkeeping bug.
+// Deregister removes one occurrence of start timestamp s, preserving the
+// sorted order. It panics if s is not registered, which would indicate an
+// engine bookkeeping bug.
 func (t *ActiveTable) Deregister(s Timestamp) {
 	for i, v := range t.starts {
 		if v == s {
-			last := len(t.starts) - 1
-			t.starts[i] = t.starts[last]
-			t.starts = t.starts[:last]
+			t.starts = append(t.starts[:i], t.starts[i+1:]...)
 			return
+		}
+		if v > s {
+			break // sorted: s cannot appear later
 		}
 	}
 	panic(fmt.Sprintf("clock: Deregister(%d) not active", s))
 }
 
 // OldestActive returns the smallest registered start timestamp and true,
-// or 0 and false if no transaction is active.
+// or 0 and false if no transaction is active. O(1): the head of the
+// sorted set.
 func (t *ActiveTable) OldestActive() (Timestamp, bool) {
 	if len(t.starts) == 0 {
 		return 0, false
 	}
-	m := t.starts[0]
-	for _, v := range t.starts[1:] {
-		if v < m {
-			m = v
-		}
-	}
-	return m, true
+	return t.starts[0], true
 }
 
 // AnyIn reports whether some active start timestamp s satisfies
 // lo <= s < hi. Version coalescing creates a new version only if a start
-// timestamp separates it from the previous version (§3.1).
+// timestamp separates it from the previous version (§3.1). The scan stops
+// at the first start >= hi; on the commit path hi is the newest timestamp
+// in the system, so the decision usually falls out of the first elements.
 func (t *ActiveTable) AnyIn(lo, hi Timestamp) bool {
 	for _, v := range t.starts {
-		if lo <= v && v < hi {
+		if v >= hi {
+			return false
+		}
+		if v >= lo {
 			return true
 		}
 	}
@@ -180,7 +185,7 @@ func (t *ActiveTable) AnyIn(lo, hi Timestamp) bool {
 // Len returns the number of active transactions.
 func (t *ActiveTable) Len() int { return len(t.starts) }
 
-// Starts returns the registered start timestamps (shared slice; callers
-// must not modify it). The multiversioned memory walks it to decide which
-// versions remain reachable.
+// Starts returns the registered start timestamps in ascending order
+// (shared slice; callers must not modify it). The multiversioned memory's
+// garbage collector merge-walks it against a line's version list.
 func (t *ActiveTable) Starts() []Timestamp { return t.starts }

@@ -176,6 +176,40 @@ func TestActiveTableAnyIn(t *testing.T) {
 	}
 }
 
+func TestActiveTableStaysSorted(t *testing.T) {
+	// The MVM garbage collector merge-walks Starts() against a line's
+	// ascending version list; the table must keep the slice sorted under
+	// any register/deregister interleaving.
+	f := func(ops []uint8) bool {
+		a := NewActiveTable()
+		var live []Timestamp
+		for _, op := range ops {
+			if op&1 == 0 || len(live) == 0 {
+				s := Timestamp(op >> 1)
+				a.Register(s)
+				live = append(live, s)
+			} else {
+				victim := int(op>>1) % len(live)
+				a.Deregister(live[victim])
+				live = append(live[:victim], live[victim+1:]...)
+			}
+			ss := a.Starts()
+			if len(ss) != len(live) {
+				return false
+			}
+			for i := 1; i < len(ss); i++ {
+				if ss[i-1] > ss[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestActiveTableAnyInProperty(t *testing.T) {
 	f := func(starts []uint8, lo, hi uint8) bool {
 		a := NewActiveTable()

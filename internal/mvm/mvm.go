@@ -75,15 +75,35 @@ type version struct {
 	data [mem.WordsPerLine]uint64
 }
 
+// inlineVersions sizes a versionList's inline storage: the paper's
+// 4-version bound (§3.1) fits without a separate slice allocation, so on
+// the bounded policies a line's whole version history lives in one
+// allocation and the hot path (Install/gc/Revert) never reallocates.
+const inlineVersions = 4
+
 // versionList holds a line's versions in ascending timestamp order
 // (newest last). Every line implicitly begins as an all-zero version at
 // timestamp 0 ("physical memory is allocated on the first write", §3);
 // truncated records that DropOldest discarded history, after which
 // snapshots older than the oldest retained version must abort instead of
 // seeing the implicit zero.
+//
+// v always starts out aliasing arr; every mutation (gc compaction,
+// DropOldest, Revert) compacts in place so the base pointer is preserved
+// and append only allocates when the Unbounded policy grows a line past
+// the inline capacity.
 type versionList struct {
 	v         []version
 	truncated bool
+	arr       [inlineVersions]version
+}
+
+// newVersionList allocates a line's version list with its inline storage
+// ready for appends.
+func newVersionList() *versionList {
+	vl := &versionList{}
+	vl.v = vl.arr[:0]
+	return vl
 }
 
 // Stats aggregates the measurements of §3.2 and Appendix A.
@@ -253,7 +273,7 @@ type Undo struct {
 func (m *Memory) Install(l mem.Line, ts clock.Timestamp, base [mem.WordsPerLine]uint64, mask uint8, words *[mem.WordsPerLine]uint64) (Undo, error) {
 	vl := m.lines[l]
 	if vl == nil {
-		vl = &versionList{}
+		vl = newVersionList()
 		m.lines[l] = vl
 	}
 	data := base
@@ -287,7 +307,11 @@ func (m *Memory) Install(l mem.Line, ts clock.Timestamp, base [mem.WordsPerLine]
 		case AbortFifth:
 			return Undo{}, ErrCapacity
 		case DropOldest:
-			vl.v = vl.v[1:]
+			// Shift down instead of re-slicing so the slice keeps its
+			// base (the inline array) and the coming append stays
+			// allocation-free.
+			copy(vl.v, vl.v[1:])
+			vl.v = vl.v[:len(vl.v)-1]
 			vl.truncated = true
 			m.stats.DroppedOld++
 		}
@@ -309,36 +333,41 @@ func (m *Memory) Install(l mem.Line, ts clock.Timestamp, base [mem.WordsPerLine]
 // write to the line rather than scanning the whole indirection matrix.
 // installTS is the timestamp the caller is about to install; versions
 // above it (at most the caller's own prior coalesce target) are kept.
+//
+// Both the version list and the active table's Starts() are ascending, so
+// one merge walk decides reachability: version i is some snapshot s's
+// newest exactly when s lands in [v[i].ts, v[i+1].ts). That replaces the
+// per-call mark buffer and the per-start rescans of the original
+// implementation — gc is allocation-free and O(versions + active).
 func (m *Memory) gc(vl *versionList, installTS clock.Timestamp) {
-	if len(vl.v) < 2 {
+	n := len(vl.v)
+	if n < 2 {
 		return
 	}
 	horizon := m.safeHorizon()
-	keep := make([]bool, len(vl.v))
-	keep[len(vl.v)-1] = true // the newest version always survives
-	mark := func(s clock.Timestamp) {
-		for i := len(vl.v) - 1; i >= 0; i-- {
-			if vl.v[i].ts <= s {
-				keep[i] = true
-				return
+	starts := m.active.Starts()
+	j := 0 // first start not yet below the current version's timestamp
+	out := vl.v[:0]
+	for i := 0; i < n; i++ {
+		ts := vl.v[i].ts
+		// The newest version always survives; versions newer than the
+		// install point belong to unfinished commits and must stay
+		// revocable.
+		keep := i == n-1 || ts >= installTS
+		if !keep {
+			next := vl.v[i+1].ts
+			if ts <= horizon && horizon < next {
+				keep = true
+			}
+			for j < len(starts) && starts[j] < ts {
+				j++
+			}
+			if j < len(starts) && starts[j] < next {
+				keep = true
 			}
 		}
-	}
-	mark(horizon)
-	for _, s := range m.active.Starts() {
-		mark(s)
-	}
-	// Versions newer than the install point belong to unfinished
-	// commits and must stay revocable.
-	for i, v := range vl.v {
-		if v.ts >= installTS {
-			keep[i] = true
-		}
-	}
-	out := vl.v[:0]
-	for i, v := range vl.v {
-		if keep[i] {
-			out = append(out, v)
+		if keep {
+			out = append(out, vl.v[i])
 		} else {
 			m.stats.GCReclaimed++
 		}
@@ -347,13 +376,16 @@ func (m *Memory) gc(vl *versionList, installTS clock.Timestamp) {
 }
 
 // Revert rolls back the version of l installed at ts, restoring the
-// coalesced-away version when the install overwrote one.
+// coalesced-away version when the install overwrote one. The list is
+// ascending, so the newest-first scan stops as soon as the timestamps
+// pass below the target — a revert of a recent install (the only kind the
+// commit path performs) touches O(1) entries.
 func (m *Memory) Revert(l mem.Line, ts clock.Timestamp, u Undo) {
 	vl := m.lines[l]
 	if vl == nil {
 		return
 	}
-	for i := len(vl.v) - 1; i >= 0; i-- {
+	for i := len(vl.v) - 1; i >= 0 && vl.v[i].ts >= ts; i-- {
 		if vl.v[i].ts == ts {
 			if u.Coalesced {
 				vl.v[i] = version{ts: u.PrevTS, data: u.PrevData}
@@ -403,7 +435,7 @@ func (m *Memory) NonTxWriteWord(a mem.Addr, val uint64) {
 	l := mem.LineOf(a)
 	vl := m.lines[l]
 	if vl == nil {
-		vl = &versionList{}
+		vl = newVersionList()
 		m.lines[l] = vl
 	}
 	if len(vl.v) == 0 {

@@ -1,0 +1,260 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// trace records the observable schedule of one simulation: the sequence of
+// (thread, cycle) pairs at every step of every body, plus the final
+// per-thread cycle counters.
+type trace struct {
+	steps  []uint64
+	cycles []uint64
+}
+
+// runTraced executes body-shaped work under run (either (*Sim).Run or
+// (*Sim).Slow) and returns the full observable schedule.
+func runTraced(threads int, seed uint64, run func(*Sim, func(*Thread)), body func(*Thread, func())) trace {
+	s := New(threads, seed)
+	var tr trace
+	run(s, func(th *Thread) {
+		body(th, func() {
+			tr.steps = append(tr.steps, uint64(th.ID())<<48|th.Cycles())
+		})
+	})
+	for i := 0; i < threads; i++ {
+		tr.cycles = append(tr.cycles, s.Thread(i).Cycles())
+	}
+	return tr
+}
+
+// diffTraces fails the test if two schedules are not identical.
+func diffTraces(t *testing.T, fast, slow trace) {
+	t.Helper()
+	if len(fast.steps) != len(slow.steps) {
+		t.Fatalf("step counts diverge: fast %d, slow %d", len(fast.steps), len(slow.steps))
+	}
+	for i := range fast.steps {
+		if fast.steps[i] != slow.steps[i] {
+			t.Fatalf("schedules diverge at step %d: fast (thread %d, cycle %d), slow (thread %d, cycle %d)",
+				i, fast.steps[i]>>48, fast.steps[i]&(1<<48-1), slow.steps[i]>>48, slow.steps[i]&(1<<48-1))
+		}
+	}
+	for i := range fast.cycles {
+		if fast.cycles[i] != slow.cycles[i] {
+			t.Fatalf("thread %d cycles diverge: fast %d, slow %d", i, fast.cycles[i], slow.cycles[i])
+		}
+	}
+}
+
+// TestRunMatchesSlowRandomTicks is the heap conductor's differential
+// oracle: across thread counts and seeds, random tick patterns must
+// produce the exact schedule of the reference linear-scan conductor.
+func TestRunMatchesSlowRandomTicks(t *testing.T) {
+	for _, threads := range []int{1, 2, 3, 4, 8, 16, 32} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("t%d/s%d", threads, seed), func(t *testing.T) {
+				body := func(th *Thread, step func()) {
+					for i := 0; i < 200; i++ {
+						step()
+						// Heavy tie mass: ~1/4 of ticks charge zero
+						// cycles, stressing the ID tie-break.
+						th.Tick(th.Rand().Uint64() % 4)
+					}
+				}
+				fast := runTraced(threads, seed, (*Sim).Run, body)
+				slow := runTraced(threads, seed, (*Sim).Slow, body)
+				diffTraces(t, fast, slow)
+			})
+		}
+	}
+}
+
+// TestRunMatchesSlowStallWake differentially checks Stall/WakeAll: threads
+// randomly stall, and the lowest-ID runnable thread wakes the machine.
+func TestRunMatchesSlowStallWake(t *testing.T) {
+	for _, threads := range []int{2, 4, 8} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			t.Run(fmt.Sprintf("t%d/s%d", threads, seed), func(t *testing.T) {
+				// Shared (single-logical-thread-at-a-time) counters keep
+				// the workload deadlock-free: a thread stalls only while
+				// another live thread is runnable, and every body wakes
+				// the machine before finishing — so some runnable thread
+				// always eventually wakes the stalled ones.
+				mk := func() func(*Thread, func()) {
+					alive, stalled := threads, 0
+					return func(th *Thread, step func()) {
+						for i := 0; i < 100; i++ {
+							step()
+							r := th.Rand().Uint64() % 16
+							switch {
+							case r == 0 && alive-stalled > 1:
+								stalled++
+								th.Stall()
+								stalled--
+							case r == 1:
+								th.WakeAll()
+								th.Tick(1)
+							default:
+								th.Tick(r)
+							}
+						}
+						alive--
+						th.WakeAll()
+					}
+				}
+				fast := runTraced(threads, seed, (*Sim).Run, mk())
+				slow := runTraced(threads, seed, (*Sim).Slow, mk())
+				diffTraces(t, fast, slow)
+			})
+		}
+	}
+}
+
+// TestRunMatchesSlowBarrier differentially checks the spin barrier, whose
+// zero-progress polling is the harshest tie-breaking workload.
+func TestRunMatchesSlowBarrier(t *testing.T) {
+	for _, threads := range []int{2, 4, 8} {
+		seed := uint64(9)
+		t.Run(fmt.Sprintf("t%d", threads), func(t *testing.T) {
+			mk := func() (func(*Thread, func()), *Barrier) {
+				b := NewBarrier(threads)
+				return func(th *Thread, step func()) {
+					for phase := 0; phase < 3; phase++ {
+						step()
+						th.Tick(th.Rand().Uint64() % 50)
+						b.Wait(th)
+					}
+				}, b
+			}
+			fastBody, _ := mk()
+			fast := runTraced(threads, seed, (*Sim).Run, fastBody)
+			slowBody, _ := mk()
+			slow := runTraced(threads, seed, (*Sim).Slow, slowBody)
+			diffTraces(t, fast, slow)
+		})
+	}
+}
+
+// TestStallWhileFastPathing pins the fast-path/stall interaction: a thread
+// that has been running inline (never touching the conductor) must still
+// hand control back when it stalls, and the machine must continue with the
+// woken threads in the right order.
+func TestStallWhileFastPathing(t *testing.T) {
+	s := New(3, 1)
+	var order []string
+	s.Run(func(th *Thread) {
+		switch th.ID() {
+		case 0:
+			// Lowest cycles: every Tick is an inline fast path (the
+			// others idle at higher cycle counts), then a stall.
+			for i := 0; i < 50; i++ {
+				th.Tick(1)
+			}
+			order = append(order, "t0-stall")
+			th.Stall()
+			order = append(order, "t0-woken")
+			if th.Cycles() < 1000 {
+				t.Errorf("t0 cycles = %d, want >= 1000 (advanced to waker)", th.Cycles())
+			}
+		case 1:
+			th.Tick(1000)
+			order = append(order, "t1-wake")
+			th.WakeAll()
+			th.Tick(1)
+		case 2:
+			th.Tick(2000)
+			order = append(order, "t2-done")
+		}
+	})
+	want := []string{"t0-stall", "t1-wake", "t0-woken", "t2-done"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestWakeAllReordersFastPath checks that an inline-running waker loses
+// the CPU to a thread it woke at equal cycles but lower ID: WakeAll must
+// update the bound Tick compares against.
+func TestWakeAllReordersFastPath(t *testing.T) {
+	s := New(2, 1)
+	var order []string
+	s.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			order = append(order, "t0-stall")
+			th.Stall()
+			order = append(order, "t0-woken")
+		} else {
+			th.Tick(10)
+			order = append(order, "t1-wake")
+			th.WakeAll()
+			// t0 is now runnable at t1's cycle count with a lower ID, so
+			// this tick — even charging zero — must yield to t0.
+			th.Tick(0)
+			order = append(order, "t1-after")
+		}
+	})
+	want := []string{"t0-stall", "t1-wake", "t0-woken", "t1-after"}
+	for i := range want {
+		if i >= len(order) || order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// benchmarkTick measures the fast-path cycle charge: thread 0 ticks b.N
+// times while the other thread idles far in the simulated future, so every
+// charge but the first two is an inline heap-root comparison.
+func benchmarkTick(b *testing.B) {
+	s := New(2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Run(func(th *Thread) {
+		if th.ID() == 0 {
+			for i := 0; i < b.N; i++ {
+				th.Tick(1)
+			}
+		} else {
+			th.Tick(uint64(b.N) + 2)
+		}
+	})
+}
+
+// BenchmarkTick must report 0 allocs/op: the inline fast path performs no
+// channel handoff and no allocation.
+func BenchmarkTick(b *testing.B) { benchmarkTick(b) }
+
+// BenchmarkTickSlow is the reference conductor's cost for the same
+// workload: two channel handoffs plus a linear scan per charge.
+func BenchmarkTickSlow(b *testing.B) {
+	s := New(2, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.Slow(func(th *Thread) {
+		if th.ID() == 0 {
+			for i := 0; i < b.N; i++ {
+				th.Tick(1)
+			}
+		} else {
+			th.Tick(uint64(b.N) + 2)
+		}
+	})
+}
+
+// TestTickFastPathZeroAllocs asserts the acceptance bound directly: the
+// steady-state Tick fast path allocates nothing.
+func TestTickFastPathZeroAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full benchmark")
+	}
+	r := testing.Benchmark(benchmarkTick)
+	if a := r.AllocsPerOp(); a != 0 {
+		t.Fatalf("Tick fast path allocates %d allocs/op, want 0", a)
+	}
+}

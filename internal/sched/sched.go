@@ -9,15 +9,25 @@
 // architectural simulator. Given the same seed and workload, a simulation is
 // fully deterministic.
 //
-// Exactly one logical thread executes at any instant; the channel handoffs
-// between conductor and threads establish happens-before edges, so shared
-// engine state needs no additional locking and the race detector stays
-// quiet.
+// Exactly one logical thread executes at any instant. Threads are
+// iter.Pull coroutines, not goroutines: a handoff between conductor and
+// thread is a direct coroutine switch on the same OS thread — no runtime
+// scheduler locks, no park/unpark, no cross-P wakeup — and the runtime's
+// coroutine switch establishes the happens-before edges, so shared engine
+// state needs no additional locking and the race detector stays quiet.
+//
+// Run keeps the non-running runnable threads in a min-heap keyed on
+// (cycles, id) and lets Tick return inline — no coroutine switch at all —
+// while the charging thread remains the lowest-cycle runnable thread (the
+// heap root bounds everyone else, and their counters are frozen while
+// parked). The interleaving is provably the one the per-Tick conductor
+// would have chosen; Slow retains that original conductor as a
+// differential oracle.
 package sched
 
 import (
 	"fmt"
-	"sort"
+	"iter"
 )
 
 // Thread is one logical hardware thread of the simulated machine. All
@@ -29,7 +39,11 @@ type Thread struct {
 	cycles uint64
 	rng    *Rand
 
-	resume  chan struct{}
+	// yield suspends the thread's coroutine and returns control to the
+	// conductor's resume call; resume restarts it. Both are rebuilt by
+	// start for every Run/Slow invocation.
+	yield   func(struct{}) bool
+	resume  func() (struct{}, bool)
 	done    bool
 	stalled bool
 }
@@ -47,10 +61,29 @@ func (t *Thread) Rand() *Rand { return t.rng }
 // conductor, which may switch to another thread whose cycle counter is now
 // lower. Every modelled operation must Tick at least once so that the
 // interleaving reflects simulated time.
+//
+// Under Run's heap conductor the yield is usually free: when the charging
+// thread is still ordered before the heap root — strictly lower cycles, or
+// equal cycles and lower ID — the conductor would resume it immediately,
+// so Tick returns inline without even a coroutine switch. Parked threads'
+// counters cannot change (only the running thread charges cycles; WakeAll
+// re-inserts woken threads with their advanced clocks), so the root is a
+// sound bound on every other runnable thread.
 func (t *Thread) Tick(c uint64) {
 	t.cycles += c
-	t.sim.yield <- t
-	<-t.resume
+	s := t.sim
+	if s.fast && (len(s.runq) == 0 || t.before(s.runq[0])) {
+		return
+	}
+	if !t.yield(struct{}{}) {
+		panic("sched: thread resumed after its conductor stopped")
+	}
+}
+
+// before reports whether t runs before u in the lowest-cycle-first,
+// ties-by-ID order.
+func (t *Thread) before(u *Thread) bool {
+	return t.cycles < u.cycles || (t.cycles == u.cycles && t.id < u.id)
 }
 
 // WakeAll unparks every stalled thread of the machine, advancing their
@@ -60,19 +93,27 @@ func (t *Thread) WakeAll() { t.sim.WakeAll(t) }
 // Stall parks the thread until another thread calls Sim.WakeAll. It models
 // a hardware stall (e.g. a transaction waiting for the commit window). The
 // thread's clock is advanced to the waker's clock on wakeup so stalled time
-// is accounted for.
+// is accounted for. Stalling always hands control to the conductor — the
+// inline fast path applies only to Tick, where the thread stays runnable.
 func (t *Thread) Stall() {
 	t.stalled = true
-	t.sim.yield <- t
-	<-t.resume
+	if !t.yield(struct{}{}) {
+		panic("sched: thread resumed after its conductor stopped")
+	}
 }
 
 // Sim is the machine: a set of logical threads and the conductor that
 // interleaves them deterministically in simulated time.
 type Sim struct {
 	threads []*Thread
-	yield   chan *Thread
 	seed    uint64
+
+	// runq is the conductor's min-heap of runnable, not-currently-running
+	// threads, keyed on (cycles, id); fast is set while Run's heap
+	// conductor is driving, enabling Tick's inline path. Slow leaves fast
+	// unset so every Tick reaches its linear-scan conductor.
+	runq []*Thread
+	fast bool
 }
 
 // New creates a machine with n logical threads. The seed makes every
@@ -81,14 +122,13 @@ func New(n int, seed uint64) *Sim {
 	if n <= 0 {
 		panic(fmt.Sprintf("sched: invalid thread count %d", n))
 	}
-	s := &Sim{yield: make(chan *Thread)}
+	s := &Sim{}
 	s.seed = seed
 	for i := 0; i < n; i++ {
 		s.threads = append(s.threads, &Thread{
-			id:     i,
-			sim:    s,
-			rng:    NewRand(seed*0x9E3779B97F4A7C15 + uint64(i+1)),
-			resume: make(chan struct{}),
+			id:  i,
+			sim: s,
+			rng: NewRand(seed*0x9E3779B97F4A7C15 + uint64(i+1)),
 		})
 	}
 	return s
@@ -122,7 +162,10 @@ func (s *Sim) TotalCycles() uint64 {
 }
 
 // WakeAll unparks every stalled thread, advancing their clocks to the
-// caller's clock so that waiting time is charged.
+// caller's clock so that waiting time is charged. Under the heap conductor
+// the woken threads re-enter the run queue with their advanced (and from
+// then on frozen) counters, so the heap root stays a sound bound for the
+// waker's subsequent inline Ticks.
 func (s *Sim) WakeAll(waker *Thread) {
 	for _, t := range s.threads {
 		if t.stalled {
@@ -130,27 +173,140 @@ func (s *Sim) WakeAll(waker *Thread) {
 			if t.cycles < waker.cycles {
 				t.cycles = waker.cycles
 			}
+			if s.fast {
+				s.push(t)
+			}
 		}
 	}
+}
+
+// push inserts t into the run-queue heap.
+func (s *Sim) push(t *Thread) {
+	s.runq = append(s.runq, t)
+	i := len(s.runq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.runq[i].before(s.runq[p]) {
+			break
+		}
+		s.runq[i], s.runq[p] = s.runq[p], s.runq[i]
+		i = p
+	}
+}
+
+// pop removes and returns the heap's minimum (cycles, id) thread.
+func (s *Sim) pop() *Thread {
+	min := s.runq[0]
+	last := len(s.runq) - 1
+	s.runq[0] = s.runq[last]
+	s.runq[last] = nil
+	s.runq = s.runq[:last]
+	s.siftDown()
+	return min
+}
+
+// replaceTop swaps t for the heap's minimum in one sift: the returned
+// thread is the old root (the next to run), and t takes its place in the
+// heap. This is the conductor's per-handoff operation — a yielding thread
+// is by construction no longer ordered before the root, so pop-then-push
+// would sift twice for the same result.
+func (s *Sim) replaceTop(t *Thread) *Thread {
+	min := s.runq[0]
+	s.runq[0] = t
+	s.siftDown()
+	return min
+}
+
+// siftDown restores the heap property after the root was replaced.
+func (s *Sim) siftDown() {
+	n := len(s.runq)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		next := i
+		if l < n && s.runq[l].before(s.runq[next]) {
+			next = l
+		}
+		if r < n && s.runq[r].before(s.runq[next]) {
+			next = r
+		}
+		if next == i {
+			break
+		}
+		s.runq[i], s.runq[next] = s.runq[next], s.runq[i]
+		i = next
+	}
+}
+
+// start builds a fresh coroutine per logical thread, suspended before its
+// first body instruction, and returns the live count. The coroutine runs
+// body when first resumed; yielding inside Tick/Stall switches straight
+// back to the conductor's resume call.
+func (s *Sim) start(body func(*Thread)) int {
+	for _, t := range s.threads {
+		t.done = false
+		t.resume, _ = iter.Pull(func(yield func(struct{}) bool) {
+			t.yield = yield
+			body(t)
+		})
+	}
+	return len(s.threads)
 }
 
 // Run executes body(thread) on every logical thread and interleaves them
 // lowest-cycle-first until all bodies return. It panics on total deadlock
 // (every live thread stalled), which indicates an engine bug.
+//
+// The conductor holds every runnable, non-running thread in the run-queue
+// heap: it pops the minimum, resumes it, and re-inserts it when it yields.
+// The running thread only reaches the conductor when it is no longer the
+// global minimum (see Tick), when it stalls, or when its body returns — on
+// the common path a cycle charge is a single heap-root comparison.
 func (s *Sim) Run(body func(*Thread)) {
-	live := len(s.threads)
+	s.fast = true
+	defer func() { s.fast = false }()
+	live := s.start(body)
+	s.runq = s.runq[:0]
 	for _, t := range s.threads {
-		t.done = false
-		go func(t *Thread) {
-			defer func() {
-				t.done = true
-				s.yield <- t
-			}()
-			<-t.resume
-			body(t)
-		}(t)
+		s.push(t)
 	}
+	next := s.pop()
+	for {
+		if _, ok := next.resume(); !ok {
+			// The coroutine ran body to completion.
+			next.done = true
+			live--
+			if live == 0 {
+				return
+			}
+			if len(s.runq) == 0 {
+				panic("sched: deadlock — all live threads stalled")
+			}
+			next = s.pop()
+		} else if next.stalled {
+			// Stalled threads stay out of the heap until WakeAll
+			// re-inserts them.
+			if len(s.runq) == 0 {
+				panic("sched: deadlock — all live threads stalled")
+			}
+			next = s.pop()
+		} else {
+			// A non-stall yield means the heap root is ordered before
+			// the yielder (Tick's inline check failed), so the root
+			// runs next and the yielder takes its heap slot.
+			next = s.replaceTop(next)
+		}
+	}
+}
 
+// Slow executes body exactly like Run but with the reference conductor: a
+// coroutine handoff on every Tick and a linear min-scan over the runnable
+// list per yield. It is retained as the differential oracle for Run — the
+// two must produce identical interleavings, cycle counters and makespans
+// for any body — and as the readable specification of the scheduling
+// order.
+func (s *Sim) Slow(body func(*Thread)) {
+	live := s.start(body)
 	runnable := make([]*Thread, len(s.threads))
 	copy(runnable, s.threads)
 	for live > 0 {
@@ -161,18 +317,18 @@ func (s *Sim) Run(body func(*Thread)) {
 			if t.done || t.stalled {
 				continue
 			}
-			if next == nil || t.cycles < next.cycles || (t.cycles == next.cycles && t.id < next.id) {
+			if next == nil || t.before(next) {
 				next = t
 			}
 		}
 		if next == nil {
 			panic("sched: deadlock — all live threads stalled")
 		}
-		next.resume <- struct{}{}
-		y := <-s.yield
-		if y.done {
+		if _, ok := next.resume(); !ok {
+			next.done = true
 			live--
-			// Compact the runnable list occasionally; cheap at our scale.
+			// Compact the runnable list; the in-place filter preserves
+			// the existing ID order, so no re-sort is needed.
 			n := runnable[:0]
 			for _, t := range runnable {
 				if !t.done {
@@ -180,7 +336,6 @@ func (s *Sim) Run(body func(*Thread)) {
 				}
 			}
 			runnable = n
-			sort.Slice(runnable, func(i, j int) bool { return runnable[i].id < runnable[j].id })
 		}
 	}
 }

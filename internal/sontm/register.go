@@ -6,7 +6,9 @@ import "repro/internal/tm"
 // paper's name so the harness and CLIs can construct it through the tm
 // engine registry.
 func init() {
-	tm.Register("SONTM", func(tm.EngineOptions) tm.Engine {
-		return New(DefaultConfig())
+	tm.Register("SONTM", func(o tm.EngineOptions) tm.Engine {
+		cfg := DefaultConfig()
+		cfg.Cache.Scratch = o.CacheScratch
+		return New(cfg)
 	})
 }

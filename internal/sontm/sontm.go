@@ -77,6 +77,11 @@ type Engine struct {
 	active map[*txn]struct{}
 	txnSeq uint64
 
+	// lastTxn recycles each thread's most recent transaction object;
+	// cleanup removes a finished transaction from active, so the object
+	// and its grown set maps can be reused without rehash churn.
+	lastTxn map[int]*txn
+
 	commitBusy bool
 }
 
@@ -90,6 +95,7 @@ func New(cfg Config) *Engine {
 		writeNums: make(map[mem.Line]uint64),
 		readNums:  make(map[mem.Line]uint64),
 		active:    make(map[*txn]struct{}),
+		lastTxn:   make(map[int]*txn),
 	}
 }
 
@@ -121,6 +127,18 @@ func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
 	return h
 }
 
+// ReleaseCaches returns the simulated cache arrays to the scratch pool
+// the engine was configured with (no-op without one). The harness calls
+// it once the run's statistics have been extracted; the engine must not
+// run transactions afterwards.
+func (e *Engine) ReleaseCaches() {
+	for _, h := range e.hier {
+		h.Release()
+	}
+	e.hier = nil
+	e.shared.Release()
+}
+
 // txn is one SONTM transaction attempt.
 type txn struct {
 	e  *Engine
@@ -148,12 +166,31 @@ var _ tm.Txn = (*txn)(nil)
 // Begin implements tm.Engine.
 func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	e.txnSeq++
-	tx := &txn{
-		e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
-		lo: 1, hi: maxSON,
-		readSet:  make(map[mem.Line]struct{}),
-		writeSet: make(map[mem.Line]struct{}),
-		writeLog: make(map[mem.Addr]uint64),
+	var tx *txn
+	if old := e.lastTxn[t.ID()]; old != nil && old.finished {
+		// clear keeps the maps' grown capacity, so steady-state
+		// transactions insert without rehashing.
+		clear(old.readSet)
+		clear(old.writeSet)
+		clear(old.writeLog)
+		*old = txn{
+			e: e, t: t, h: old.h, id: e.txnSeq,
+			lo: 1, hi: maxSON,
+			readSet:    old.readSet,
+			writeSet:   old.writeSet,
+			writeLog:   old.writeLog,
+			writeOrder: old.writeOrder[:0],
+		}
+		tx = old
+	} else {
+		tx = &txn{
+			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
+			lo: 1, hi: maxSON,
+			readSet:  make(map[mem.Line]struct{}),
+			writeSet: make(map[mem.Line]struct{}),
+			writeLog: make(map[mem.Addr]uint64),
+		}
+		e.lastTxn[t.ID()] = tx
 	}
 	e.active[tx] = struct{}{}
 	if e.tracer != nil {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/cache"
 )
 
 // EngineOptions carries the engine-level knobs of the evaluation (§6) in a
@@ -23,6 +25,12 @@ type EngineOptions struct {
 	NoCoalescing bool
 	// NoXlate disables the translation cache (ablation).
 	NoXlate bool
+	// CacheScratch, when non-nil, recycles simulated cache arrays
+	// across the engines built with these options. It never changes
+	// simulated behaviour; callers own the scratch's single-threaded
+	// lifecycle (one per experiment worker) and must call the engine's
+	// ReleaseCaches after the run to return the arrays.
+	CacheScratch *cache.Scratch
 }
 
 // EngineFactory builds a fresh, fully isolated engine instance. Factories

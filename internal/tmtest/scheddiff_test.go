@@ -1,0 +1,87 @@
+package tmtest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// schedResult is everything the evaluation reports about one simulation:
+// the full engine statistics (commits, read-only commits, aborts by kind,
+// stalls, backoff cycles) plus the simulated makespan. Stats holds only
+// fixed-size fields, so results compare with ==.
+type schedResult struct {
+	stats    tm.Stats
+	makespan uint64
+	state    uint64 // xor over final memory words, pins the data too
+}
+
+// runEngineWorkload drives a mixed workload (contended counters plus bank
+// transfers) on a fresh engine under the given conductor — the inline
+// fast-path scheduler (*Sim).Run or the reference (*Sim).Slow.
+func runEngineWorkload(t *testing.T, name string, threads int, seed uint64, run func(*sched.Sim, func(*sched.Thread))) schedResult {
+	t.Helper()
+	e, err := tm.NewEngine(name, tm.EngineOptions{})
+	if err != nil {
+		t.Fatalf("constructing %s: %v", name, err)
+	}
+	const accounts = 6
+	addr := func(i int) mem.Addr { return mem.Addr((i + 1) * mem.LineBytes) }
+	for i := 0; i < accounts; i++ {
+		e.NonTxWrite(addr(i), 100)
+	}
+	s := sched.New(threads, seed)
+	run(s, func(th *sched.Thread) {
+		r := th.Rand()
+		for i := 0; i < 30; i++ {
+			if r.Uint64()%2 == 0 {
+				_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+					a := addr(r.Intn(accounts))
+					tx.Write(a, tx.Read(a)+1)
+					return nil
+				})
+			} else {
+				from, to := addr(r.Intn(accounts)), addr(r.Intn(accounts))
+				_ = tm.Atomic(e, th, tm.DefaultBackoff(), func(tx tm.Txn) error {
+					balance := tx.Read(from)
+					if from == to || balance < 3 {
+						return nil
+					}
+					tx.Write(from, balance-3)
+					tx.Write(to, tx.Read(to)+3)
+					return nil
+				})
+			}
+		}
+	})
+	res := schedResult{stats: *e.Stats(), makespan: s.Makespan()}
+	for i := 0; i < accounts; i++ {
+		res.state ^= e.NonTxRead(addr(i)) * uint64(i+1)
+	}
+	return res
+}
+
+// TestSchedulerDifferential pins the PR's core invariant end to end: for
+// every registered engine, across thread counts and seeds, the inline
+// fast-path conductor and the reference linear-scan conductor produce
+// bit-identical engine statistics, makespans and final memory state. Any
+// divergence here means the Tick fast path changed the schedule, which
+// would silently shift every figure in the evaluation.
+func TestSchedulerDifferential(t *testing.T) {
+	for _, name := range tm.Engines() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/t%d/s%d", name, threads, seed), func(t *testing.T) {
+					fast := runEngineWorkload(t, name, threads, seed, (*sched.Sim).Run)
+					slow := runEngineWorkload(t, name, threads, seed, (*sched.Sim).Slow)
+					if fast != slow {
+						t.Errorf("fast conductor %+v\nslow conductor %+v", fast, slow)
+					}
+				})
+			}
+		}
+	}
+}

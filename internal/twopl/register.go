@@ -5,7 +5,9 @@ import "repro/internal/tm"
 // The eager 2PL baseline self-registers under the paper's name so the
 // harness and CLIs can construct it through the tm engine registry.
 func init() {
-	tm.Register("2PL", func(tm.EngineOptions) tm.Engine {
-		return New(DefaultConfig())
+	tm.Register("2PL", func(o tm.EngineOptions) tm.Engine {
+		cfg := DefaultConfig()
+		cfg.Cache.Scratch = o.CacheScratch
+		return New(cfg)
 	})
 }

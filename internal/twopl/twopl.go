@@ -66,6 +66,13 @@ type Engine struct {
 	lines  map[mem.Line]*lineState
 	txnSeq uint64
 
+	// lastTxn recycles each thread's most recent transaction object.
+	// cleanup fully deregisters a finished transaction from the engine
+	// (readers, writer slots), so once the same thread begins again the
+	// old object — and, crucially, its already-grown read/write-set
+	// maps — can be reused without a fresh allocate-and-rehash cycle.
+	lastTxn map[int]*txn
+
 	commitBusy  bool
 	accessCount int
 }
@@ -73,11 +80,12 @@ type Engine struct {
 // New creates a 2PL engine.
 func New(cfg Config) *Engine {
 	return &Engine{
-		cfg:    cfg,
-		shared: cache.NewShared(cfg.Cache),
-		hier:   make(map[int]*cache.Hierarchy),
-		words:  make(map[mem.Addr]uint64),
-		lines:  make(map[mem.Line]*lineState),
+		cfg:     cfg,
+		shared:  cache.NewShared(cfg.Cache),
+		hier:    make(map[int]*cache.Hierarchy),
+		words:   make(map[mem.Addr]uint64),
+		lines:   make(map[mem.Line]*lineState),
+		lastTxn: make(map[int]*txn),
 	}
 }
 
@@ -107,6 +115,18 @@ func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
 		e.hier[t.ID()] = h
 	}
 	return h
+}
+
+// ReleaseCaches returns the simulated cache arrays to the scratch pool
+// the engine was configured with (no-op without one). The harness calls
+// it once the run's statistics have been extracted; the engine must not
+// run transactions afterwards.
+func (e *Engine) ReleaseCaches() {
+	for _, h := range e.hier {
+		h.Release()
+	}
+	e.hier = nil
+	e.shared.Release()
 }
 
 func (e *Engine) state(l mem.Line) *lineState {
@@ -144,11 +164,29 @@ var _ tm.Txn = (*txn)(nil)
 // Begin implements tm.Engine.
 func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	e.txnSeq++
-	tx := &txn{
-		e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
-		readSet:  make(map[mem.Line]struct{}),
-		writeLog: make(map[mem.Addr]uint64),
-		writeSet: make(map[mem.Line]struct{}),
+	var tx *txn
+	if old := e.lastTxn[t.ID()]; old != nil && old.finished {
+		// clear keeps the maps' grown capacity, so steady-state
+		// transactions insert without rehashing.
+		clear(old.readSet)
+		clear(old.writeLog)
+		clear(old.writeSet)
+		*old = txn{
+			e: e, t: t, h: old.h, id: e.txnSeq,
+			readSet:    old.readSet,
+			writeLog:   old.writeLog,
+			writeSet:   old.writeSet,
+			writeOrder: old.writeOrder[:0],
+		}
+		tx = old
+	} else {
+		tx = &txn{
+			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
+			readSet:  make(map[mem.Line]struct{}),
+			writeLog: make(map[mem.Addr]uint64),
+			writeSet: make(map[mem.Line]struct{}),
+		}
+		e.lastTxn[t.ID()] = tx
 	}
 	if e.tracer != nil {
 		e.tracer.TxnBegin(tx.id, t.ID())
