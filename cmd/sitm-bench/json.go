@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/exp"
 	"repro/internal/mem"
@@ -41,11 +44,38 @@ type benchHotPath struct {
 // benchReport is the -json artefact (BENCH_PR3.json). The schema is
 // documented in EXPERIMENTS.md ("Benchmark trajectory").
 type benchReport struct {
-	Command  string         `json:"command"`
-	Workers  int            `json:"workers"`
-	Seeds    []uint64       `json:"seeds"`
-	Sections []benchSection `json:"sections"`
-	HotPaths []benchHotPath `json:"hot_paths"`
+	Command    string `json:"command"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// GitRevision is the revision the binary was built from (from the
+	// build info stamped by the go tool; "unknown" outside a
+	// git checkout, with a "-dirty" suffix for modified trees).
+	GitRevision string         `json:"git_revision"`
+	Workers     int            `json:"workers"`
+	Seeds       []uint64       `json:"seeds"`
+	Sections    []benchSection `json:"sections"`
+	HotPaths    []benchHotPath `json:"hot_paths"`
+}
+
+// gitRevision extracts the VCS revision from the binary's build info.
+func gitRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty && rev != "unknown" {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 // benchCollector accumulates per-cell simulated cycles (fed concurrently
@@ -61,9 +91,12 @@ type benchCollector struct {
 func newBenchCollector(workers int, seeds []uint64) *benchCollector {
 	args := append([]string{filepath.Base(os.Args[0])}, os.Args[1:]...)
 	return &benchCollector{report: benchReport{
-		Command: strings.Join(args, " "),
-		Workers: workers,
-		Seeds:   seeds,
+		Command:     strings.Join(args, " "),
+		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GitRevision: gitRevision(),
+		Workers:     workers,
+		Seeds:       seeds,
 	}}
 }
 
@@ -112,10 +145,12 @@ func (b *benchCollector) write(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// measureHotPaths benchmarks the two allocation-free hot paths the PR's
-// acceptance criteria pin — the scheduler Tick fast path and the MVM
-// steady-state Install — with the same shapes as the package benchmarks
-// (BenchmarkTick in internal/sched, BenchmarkInstall in internal/mvm).
+// measureHotPaths benchmarks the allocation-free hot paths the benchmark
+// trajectory pins — the scheduler Tick fast path, the MVM steady-state
+// Install and the memory-hierarchy way-predicted probes — with the same
+// shapes as the package benchmarks (BenchmarkTick in internal/sched,
+// BenchmarkInstall in internal/mvm, BenchmarkAccess/BenchmarkAccessVersioned
+// in internal/cache).
 func measureHotPaths() []benchHotPath {
 	tick := testing.Benchmark(func(b *testing.B) {
 		s := sched.New(2, 1)
@@ -154,9 +189,34 @@ func measureHotPaths() []benchHotPath {
 			install(i)
 		}
 	})
+	// The memory-hierarchy hot paths, in the regime the fast path
+	// exists for: a way-predicted L1 hit on the Table 1 architecture
+	// (the same shape as BenchmarkAccess/hit in internal/cache).
+	access := testing.Benchmark(func(b *testing.B) {
+		cfg := cache.DefaultConfig()
+		h := cache.NewHierarchy(cfg, cache.NewShared(cfg))
+		h.Access(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(1)
+		}
+	})
+	versioned := testing.Benchmark(func(b *testing.B) {
+		cfg := cache.DefaultConfig()
+		h := cache.NewHierarchy(cfg, cache.NewShared(cfg))
+		h.AccessVersioned(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.AccessVersioned(1)
+		}
+	})
 	out := []benchHotPath{
 		{Name: "sched.Tick", NsPerOp: float64(tick.T.Nanoseconds()) / float64(tick.N), AllocsPerOp: tick.AllocsPerOp()},
 		{Name: "mvm.Install", NsPerOp: float64(install.T.Nanoseconds()) / float64(install.N), AllocsPerOp: install.AllocsPerOp()},
+		{Name: "cache.Access", NsPerOp: float64(access.T.Nanoseconds()) / float64(access.N), AllocsPerOp: access.AllocsPerOp()},
+		{Name: "cache.AccessVersioned", NsPerOp: float64(versioned.T.Nanoseconds()) / float64(versioned.N), AllocsPerOp: versioned.AllocsPerOp()},
 	}
 	for _, hp := range out {
 		if hp.AllocsPerOp != 0 {

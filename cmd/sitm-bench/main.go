@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +31,58 @@ import (
 	"repro/internal/plot"
 	"repro/internal/report"
 )
+
+// startProfiles begins the optional CPU profile and returns the function
+// that stops it and writes the optional heap profile. The returned stop is
+// idempotent so it can run both deferred and before os.Exit paths. Profile
+// failures are diagnostics, not sweep failures: they warn on stderr.
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sitm-bench: -cpuprofile: %v\n", err)
+			} else {
+				fmt.Printf("wrote %s\n", cpuPath)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sitm-bench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // materialise the post-sweep live set
+			err = pprof.WriteHeapProfile(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "sitm-bench: -memprofile: %v\n", err)
+				return
+			}
+			fmt.Printf("wrote %s\n", memPath)
+		}
+	}
+}
 
 func main() {
 	var (
@@ -49,8 +103,16 @@ func main() {
 		scale      = flag.Int("scale", 1, "workload size multiplier (larger approaches the paper's inputs)")
 		mvmStats   = flag.Bool("mvm", false, "report the §3 MVM behaviour (coalescing, GC, overheads, dedup) per workload")
 		jsonPath   = flag.String("json", "", "write a machine-readable benchmark trajectory (wall time, simulated Mcycles/s and hot-path allocs per section) to this file")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the sweeps (not the -json hot-path measurement) to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile, taken after the sweeps complete, to this file")
 	)
 	flag.Parse()
+
+	// stopProfiles flushes -cpuprofile / -memprofile once the sweeps are
+	// done. It runs both deferred and explicitly before every later
+	// os.Exit path, so a failing -verify still leaves usable profiles.
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	o := harness.DefaultOptions()
 	o.WordGranularity = *word
@@ -153,6 +215,7 @@ func main() {
 		fmt.Println()
 		ran = true
 	}
+	stopProfiles()
 	if bench != nil && ran {
 		if err := bench.write(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "sitm-bench: writing %s: %v\n", *jsonPath, err)

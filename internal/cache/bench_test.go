@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// The memory hierarchy is probed on every simulated load and store, so
+// Access/AccessVersioned/Invalidate are hot paths of the whole evaluation
+// (the engines call them orders of magnitude more often than they commit).
+// Each benchmark pins a distinct regime: "hit" is the way-predicted L1
+// probe that the fast path exists for, "miss" walks a working set larger
+// than the L3 data region so every level scans and evicts. All of them
+// must run allocation-free (TestHotPathsAllocFree asserts it; the CI
+// bench smoke and sitm-bench -json report it).
+
+// benchHierarchy builds one core of the Table 1 architecture.
+func benchHierarchy() *Hierarchy {
+	cfg := DefaultConfig()
+	return NewHierarchy(cfg, NewShared(cfg))
+}
+
+// missLines is the miss-regime working set: 1 Mi distinct lines, strided
+// so consecutive lines map to distinct translation-cache lines too. The
+// reuse distance exceeds the 24 MiB L3 data region (384 Ki lines), so
+// under LRU every access misses all three levels once warm.
+const missLines = 1 << 20
+
+func missLine(i int) mem.Line { return mem.Line(1 + (i&(missLines-1))*8) }
+
+func BenchmarkAccess(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		h := benchHierarchy()
+		h.Access(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(1)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		h := benchHierarchy()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(missLine(i))
+		}
+	})
+}
+
+func BenchmarkAccessVersioned(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		h := benchHierarchy()
+		h.AccessVersioned(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.AccessVersioned(1)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		h := benchHierarchy()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.AccessVersioned(missLine(i))
+		}
+	})
+}
+
+func BenchmarkInvalidate(b *testing.B) {
+	// Each iteration fills the line and then invalidates it, so the
+	// invalidation always finds the line resident (the expensive case:
+	// every level clears a way).
+	b.Run("resident", func(b *testing.B) {
+		h := benchHierarchy()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Access(1)
+			h.Invalidate(1)
+		}
+	})
+	// The absent case scans every level and finds nothing — the shape
+	// commit-time invalidation broadcasts hit on cores that never
+	// touched the line (before the presence filter prunes them).
+	b.Run("absent", func(b *testing.B) {
+		h := benchHierarchy()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Invalidate(1)
+		}
+	})
+}
+
+// TestHotPathsAllocFree asserts the three hot paths never allocate, in
+// either regime — a steady-state allocation here would put GC pressure
+// proportional to simulated memory traffic on every experiment.
+func TestHotPathsAllocFree(t *testing.T) {
+	h := benchHierarchy()
+	n := 0
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"Access/hit", func() { h.Access(1) }},
+		{"Access/miss", func() { h.Access(missLine(n)); n++ }},
+		{"AccessVersioned/hit", func() { h.AccessVersioned(1) }},
+		{"AccessVersioned/miss", func() { h.AccessVersioned(missLine(n)); n++ }},
+		{"Invalidate", func() { h.Access(1); h.Invalidate(1) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(200, c.f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", c.name, allocs)
+		}
+	}
+}

@@ -7,9 +7,27 @@
 // transaction commit, written lines are invalidated in other cores' private
 // caches ("snapshots need to be invalidated during commit", §4.4), which is
 // the part of coherency that matters for the paper's timing shape.
+//
+// Every probe used to pay for a full way scan plus an LRU stamp update,
+// and that loop dominated sweep wall-time. The implementation here keeps
+// the architecture of slow.go observably intact but adds a per-set MRU
+// way prediction: each set remembers its most-recently-used way, and a
+// probe first compares that single tag. A predicted hit touches one tag
+// word and updates nothing — the MRU way already carries the maximal LRU
+// stamp in its set, so skipping the stamp write preserves the relative
+// stamp order that decides every future eviction. Only mispredictions
+// fall back to the scan-and-fill path. Equivalence with the reference
+// implementation (slowLevel/SlowHierarchy in slow.go) is pinned by a
+// property test over random access/invalidate/release streams, an
+// engine-level sweep in internal/tmtest, and the harness-level
+// TestFiguresByteIdenticalFastVsSlowCache.
 package cache
 
-import "repro/internal/mem"
+import (
+	"math/bits"
+
+	"repro/internal/mem"
+)
 
 // Config mirrors Table 1 of the paper.
 type Config struct {
@@ -39,6 +57,13 @@ type Config struct {
 	// simulations (see Scratch). It affects only allocation, never
 	// simulated behaviour. Not part of the simulated architecture.
 	Scratch *Scratch
+
+	// Reference, when true, routes every access through the verbatim
+	// pre-way-prediction implementation (SlowHierarchy) instead of the
+	// fast path. Observable behaviour is identical either way — that is
+	// exactly what the differential tests pin — so this is a debugging
+	// and verification switch, not a modelling choice.
+	Reference bool
 }
 
 // DefaultConfig returns the simulated architecture of Table 1.
@@ -53,17 +78,30 @@ func DefaultConfig() Config {
 	}
 }
 
-// level is one set-associative cache with LRU replacement. Power-of-two
-// set counts index with a mask; other sizes (e.g. the 24 MiB data region
-// left after carving the MVM partition out of the L3) fall back to
-// modulo.
+// level is one set-associative cache with LRU replacement and per-set MRU
+// way prediction. Power-of-two set counts index with a mask; other sizes
+// (e.g. the 24 MiB data region left after carving the MVM partition out
+// of the L3) divide by a precomputed reciprocal instead of paying a
+// hardware divide per probe.
 type level struct {
 	sets    int
 	ways    int
 	tags    []mem.Line // sets*ways entries; 0 means empty (line 0 unused)
 	stamps  []uint64   // LRU timestamps, parallel to tags
+	mru     []int32    // per-set predicted way: last way hit or filled
 	clock   uint64
 	setMask uint64 // sets-1 when sets is a power of two, else 0
+	// modMul is ceil(2^64/sets), the Lemire reciprocal used to compute
+	// line % sets with two multiplies when sets is not a power of two
+	// and the line fits in 32 bits (real lines always do; the oracle's
+	// plain modulo remains the fallback for adversarial inputs).
+	modMul uint64
+
+	// Dirty-set tracking: reset (scratch reuse) restores pristine state
+	// by clearing only the sets a fill ever touched, instead of
+	// memclr-ing multi-megabyte tag/stamp arrays per simulation cell.
+	dirtyBits []uint64 // one bit per set
+	dirtySets []int32  // sets with their dirty bit set, any order
 }
 
 func newLevel(sizeBytes, ways int, s *Scratch) *level {
@@ -76,36 +114,77 @@ func newLevel(sizeBytes, ways int, s *Scratch) *level {
 	}
 	l := &level{
 		sets: sets, ways: ways,
-		tags:   make([]mem.Line, sets*ways),
-		stamps: make([]uint64, sets*ways),
+		tags:      make([]mem.Line, sets*ways),
+		stamps:    make([]uint64, sets*ways),
+		mru:       make([]int32, sets),
+		dirtyBits: make([]uint64, (sets+63)/64),
+		dirtySets: make([]int32, 0, sets),
 	}
 	if sets&(sets-1) == 0 {
 		l.setMask = uint64(sets - 1)
+	} else {
+		l.modMul = ^uint64(0)/uint64(sets) + 1
 	}
 	return l
 }
 
-// setOf maps a line to its set index.
+// setOf maps a line to its set index. It must agree with
+// slowLevel.setOf on every input.
 func (l *level) setOf(line mem.Line) int {
 	if l.setMask != 0 {
 		return int(uint64(line) & l.setMask)
 	}
-	return int(uint64(line) % uint64(l.sets))
+	n := uint64(line)
+	if n>>32 == 0 {
+		// Lemire's fastmod: for n, sets < 2^32 the high half of
+		// (n*ceil(2^64/sets))*sets is exactly n % sets.
+		hi, _ := bits.Mul64(l.modMul*n, uint64(l.sets))
+		return int(hi)
+	}
+	return int(n % uint64(l.sets))
 }
 
 // access looks up line; on miss it fills the line, evicting LRU.
 // It reports whether the access hit.
+//
+// Fast path: if the set's predicted (MRU) way holds the line, the probe
+// is a single tag compare with no clock tick and no stamp write. That is
+// observably identical to the oracle's hit-with-stamp-update because the
+// predicted way already holds the strictly maximal stamp in its set —
+// every code path that writes a stamp also repoints mru at that way — so
+// rewriting it with a larger clock value cannot change which way any
+// future eviction picks, and empty sets never fast-hit (their tags are 0
+// and line 0 is unused).
+// Line 0 must always take the scan: the oracle cannot distinguish "way
+// holds line 0" from "way is empty", so access(0) hits the first empty
+// way of its set and stamps it (xlateLine maps data lines 1..7 there) —
+// a quirk the predicted path would otherwise resolve at the wrong way.
 func (l *level) access(line mem.Line) bool {
+	set := l.setOf(line)
+	if line != 0 && l.tags[set*l.ways+int(l.mru[set])] == line {
+		return true
+	}
+	return l.accessScan(line, set)
+}
+
+// accessScan is the misprediction path: the oracle's scan-and-fill loop,
+// plus the MRU and dirty-set bookkeeping the fast path relies on.
+func (l *level) accessScan(line mem.Line, set int) bool {
 	l.clock++
-	base := l.setOf(line) * l.ways
+	base := set * l.ways
 	// Subslice the set once so the way scan runs without per-element
-	// bounds checks — this loop is the hottest line of the simulator.
+	// bounds checks.
 	tags := l.tags[base : base+l.ways]
 	stamps := l.stamps[base : base+l.ways]
 	victim, oldest := 0, ^uint64(0)
 	for i, tag := range tags {
 		if tag == line {
 			stamps[i] = l.clock
+			l.mru[set] = int32(i)
+			// A genuine hit implies the set was filled before and is
+			// already dirty — except the line-0 quirk, where a "hit"
+			// on an empty way can be a pristine set's first write.
+			l.markDirty(set)
 			return true
 		}
 		if stamps[i] < oldest {
@@ -114,26 +193,60 @@ func (l *level) access(line mem.Line) bool {
 	}
 	tags[victim] = line
 	stamps[victim] = l.clock
+	l.mru[set] = int32(victim)
+	l.markDirty(set)
 	return false
 }
 
-// invalidate removes line if present.
+// markDirty records that set is no longer in its pristine all-zero state,
+// so reset (scratch reuse) knows to clear it. Fills and line-0 hits are
+// the only transitions out of pristine; real hits and invalidations act
+// on sets a fill already dirtied.
+func (l *level) markDirty(set int) {
+	w, b := set>>6, uint64(1)<<(set&63)
+	if l.dirtyBits[w]&b == 0 {
+		l.dirtyBits[w] |= b
+		l.dirtySets = append(l.dirtySets, int32(set))
+	}
+}
+
+// invalidate removes line if present. The MRU prediction is left alone:
+// if the invalidated way was predicted, its tag is now 0, which can never
+// fast-hit, so the next probe of that set takes the scan path and
+// re-trains the prediction.
 func (l *level) invalidate(line mem.Line) {
 	base := l.setOf(line) * l.ways
 	tags := l.tags[base : base+l.ways]
-	stamps := l.stamps[base : base+l.ways]
 	for i, tag := range tags {
 		if tag == line {
 			tags[i] = 0
-			stamps[i] = 0
+			l.stamps[base+i] = 0
 		}
 	}
 }
 
-// Stats counts hits per level for one core.
+// reset restores the pristine (fresh-allocation) state by clearing only
+// the sets that were ever filled.
+func (l *level) reset() {
+	for _, s := range l.dirtySets {
+		base := int(s) * l.ways
+		clear(l.tags[base : base+l.ways])
+		clear(l.stamps[base : base+l.ways])
+		l.mru[s] = 0
+	}
+	clear(l.dirtyBits)
+	l.dirtySets = l.dirtySets[:0]
+	l.clock = 0
+}
+
+// Stats counts hits per level for one core. Accesses is the total number
+// of charged accesses (Access + AccessVersioned); exactly one of L1Hits,
+// L2Hits, L3Hits, MemAccesses increments per access, so their sum must
+// equal Accesses — internal/tmtest sweeps that invariant across engines.
 type Stats struct {
 	L1Hits, L2Hits, L3Hits, MemAccesses uint64
 	XlateHits, XlateMisses              uint64
+	Accesses                            uint64
 }
 
 // Hierarchy is the private L1/L2 (+ translation cache) of one core wired to
@@ -145,6 +258,9 @@ type Hierarchy struct {
 	l2    *level
 	l3    *Shared
 	xlate *level
+	// ref, in Config.Reference mode, is the verbatim pre-fast-path
+	// implementation every call delegates to; Stats mirrors its stats.
+	ref   *SlowHierarchy
 	Stats Stats
 }
 
@@ -156,11 +272,15 @@ type Shared struct {
 	cfg Config
 	l3  *level
 	mvm *level
+	ref *SlowShared
 }
 
 // NewShared builds the shared L3 for cfg: the MVM partition is carved out
 // of the configured L3 size.
 func NewShared(cfg Config) *Shared {
+	if cfg.Reference {
+		return &Shared{cfg: cfg, ref: NewSlowShared(cfg)}
+	}
 	dataBytes := cfg.L3SizeBytes - cfg.MVMPartBytes
 	if dataBytes <= 0 {
 		dataBytes = cfg.L3SizeBytes
@@ -174,6 +294,9 @@ func NewShared(cfg Config) *Shared {
 
 // NewHierarchy builds one core's private hierarchy attached to shared.
 func NewHierarchy(cfg Config, shared *Shared) *Hierarchy {
+	if shared.ref != nil {
+		return &Hierarchy{cfg: cfg, l3: shared, ref: NewSlowHierarchy(cfg, shared.ref)}
+	}
 	h := &Hierarchy{cfg: cfg, l1: newLevel(cfg.L1SizeBytes, cfg.L1Ways, cfg.Scratch), l2: newLevel(cfg.L2SizeBytes, cfg.L2Ways, cfg.Scratch), l3: shared}
 	if cfg.XlateEntries > 0 {
 		h.xlate = newLevel(cfg.XlateEntries*mem.LineBytes, 4, cfg.Scratch)
@@ -184,7 +307,22 @@ func NewHierarchy(cfg Config, shared *Shared) *Hierarchy {
 // Access charges a plain (non-versioned) access to line and returns its
 // latency in cycles.
 func (h *Hierarchy) Access(line mem.Line) uint64 {
-	if h.l1.access(line) {
+	if h.ref != nil {
+		lat := h.ref.Access(line)
+		h.Stats = h.ref.Stats
+		return lat
+	}
+	h.Stats.Accesses++
+	// The L1 predicted-hit probe of (*level).access is open-coded here:
+	// that method is beyond the compiler's inlining budget, and the L1
+	// fast hit is the single most common outcome of the whole simulator.
+	l1 := h.l1
+	set := l1.setOf(line)
+	if line != 0 && l1.tags[set*l1.ways+int(l1.mru[set])] == line {
+		h.Stats.L1Hits++
+		return h.cfg.L1Latency
+	}
+	if l1.accessScan(line, set) {
 		h.Stats.L1Hits++
 		return h.cfg.L1Latency
 	}
@@ -206,8 +344,24 @@ func (h *Hierarchy) Access(line mem.Line) uint64 {
 // the version-list entry must be consulted before the data line: a
 // translation-cache hit hides that lookup, otherwise the indirection adds
 // one L3-latency round trip ("less costly than two full round trip times").
+// The xlate/MVM-partition/L3 probes are fused into one pass: the
+// version-list line is computed once and each probe is the single-compare
+// fast path of its level.
 func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
-	if h.l1.access(line) {
+	if h.ref != nil {
+		lat := h.ref.AccessVersioned(line)
+		h.Stats = h.ref.Stats
+		return lat
+	}
+	h.Stats.Accesses++
+	// Same open-coded L1 predicted-hit probe as Access.
+	l1 := h.l1
+	set := l1.setOf(line)
+	if line != 0 && l1.tags[set*l1.ways+int(l1.mru[set])] == line {
+		h.Stats.L1Hits++
+		return h.cfg.L1Latency
+	}
+	if l1.accessScan(line, set) {
 		h.Stats.L1Hits++
 		return h.cfg.L1Latency
 	}
@@ -219,17 +373,16 @@ func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
 	// the data line: the translation cache hides the lookup entirely;
 	// otherwise the entry is fetched from the L3's MVM partition, or
 	// from memory when not resident there.
+	xl := xlateLine(line)
 	var indirection uint64
-	if h.xlate != nil && h.xlate.access(xlateLine(line)) {
+	if h.xlate != nil && h.xlate.access(xl) {
 		h.Stats.XlateHits++
 	} else {
 		h.Stats.XlateMisses++
-		if h.l3.mvm != nil && h.l3.mvm.access(xlateLine(line)) {
+		if h.l3.mvm == nil || h.l3.mvm.access(xl) {
 			indirection = h.cfg.L3Latency
-		} else if h.l3.mvm != nil {
-			indirection = h.cfg.MemLatency
 		} else {
-			indirection = h.cfg.L3Latency
+			indirection = h.cfg.MemLatency
 		}
 	}
 	if h.l3.l3.access(line) {
@@ -240,13 +393,18 @@ func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
 	return h.cfg.MemLatency + indirection
 }
 
-// Invalidate drops line from the private caches of this core. Engines call
-// it on every core other than the committer for each committed line (§4.4).
-// The version-list entry changed too, so the cached translation (and the
-// partition-resident version-list line) are dropped as well.
+// Invalidate drops line from the private caches of this core, the cached
+// translation and the partition-resident version-list line — the full
+// per-core invalidation of §4.4. Engines that split the work (see
+// InvalidatePrivate/InvalidateVersions) must preserve exactly this
+// composition.
 //
 //sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
 func (h *Hierarchy) Invalidate(line mem.Line) {
+	if h.ref != nil {
+		h.ref.Invalidate(line)
+		return
+	}
 	h.l1.invalidate(line)
 	h.l2.invalidate(line)
 	if h.xlate != nil {
@@ -257,10 +415,93 @@ func (h *Hierarchy) Invalidate(line mem.Line) {
 	}
 }
 
+// InvalidateData drops line from this core's private data caches (L1+L2)
+// only. It is the right call for engines that never perform versioned
+// accesses (2PL, SONTM): their translation caches and the MVM partition
+// are never filled, so skipping those scans is observably identical to
+// the full Invalidate — in Reference mode it therefore delegates to the
+// oracle's full invalidation.
+//
+//sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
+func (h *Hierarchy) InvalidateData(line mem.Line) {
+	if h.ref != nil {
+		h.ref.Invalidate(line)
+		return
+	}
+	h.l1.invalidate(line)
+	h.l2.invalidate(line)
+}
+
+// InvalidatePrivate drops line from this core's private caches and cached
+// translation, but not the shared MVM partition. The SI-TM commit calls
+// it once per other core and pairs it with a single
+// Shared.InvalidateVersions per line: the partition is shared, so
+// scanning it once per core (as the fused Invalidate does) is idempotent
+// redundancy. In Reference mode it delegates to the oracle's full
+// per-core invalidation, reproducing the original redundancy exactly.
+//
+//sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
+func (h *Hierarchy) InvalidatePrivate(line mem.Line) {
+	if h.ref != nil {
+		h.ref.Invalidate(line)
+		return
+	}
+	h.l1.invalidate(line)
+	h.l2.invalidate(line)
+	if h.xlate != nil {
+		h.xlate.invalidate(xlateLine(line))
+	}
+}
+
+// InvalidateXlate drops the cached translation of line — the version-list
+// line holding its indirection entry — from this core's translation cache
+// only. Presence-filtered SI-TM commits pair it with InvalidateData: the
+// translation cache is keyed at version-list-line granularity, so the set
+// of cores that may hold a translation differs from the set that may hold
+// the data line, and the two are filtered independently. In Reference
+// mode it delegates to the oracle's full per-core invalidation, whose
+// extra scans are idempotent no-ops on structures the caller's paired
+// calls already cover.
+//
+//sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
+func (h *Hierarchy) InvalidateXlate(line mem.Line) {
+	if h.ref != nil {
+		h.ref.Invalidate(line)
+		return
+	}
+	if h.xlate != nil {
+		h.xlate.invalidate(xlateLine(line))
+	}
+}
+
+// InvalidateVersions drops the version-list line holding line's
+// indirection entry from the shared MVM partition. Pair with
+// InvalidatePrivate (or presence-filtered InvalidateData/InvalidateXlate);
+// in Reference mode it scans the oracle's partition — possibly
+// redundantly with per-core delegations, which is unobservable because
+// invalidation is idempotent.
+//
+//sitm:allow(chargelint) invalidation is part of the committer's publish step; its cost is charged to the committing thread by the engine's commit Tick, not to the invalidated cores, which do no work.
+func (s *Shared) InvalidateVersions(line mem.Line) {
+	if s.ref != nil {
+		s.ref.InvalidateVersions(line)
+		return
+	}
+	if s.mvm != nil {
+		s.mvm.invalidate(xlateLine(line))
+	}
+}
+
 // xlateLine maps a data line to the version-list line that holds its
 // indirection entry: one 64-byte line holds eight version-list entries
 // (§3.2 — "a single cache line contains eight version references").
 func xlateLine(line mem.Line) mem.Line { return line >> 3 }
+
+// XlateLine exposes the data-line to version-list-line mapping for
+// engines that track translation-cache presence (see Presence): the
+// translation cache is keyed by version-list line, so presence of
+// translations must be recorded at this granularity.
+func XlateLine(line mem.Line) mem.Line { return xlateLine(line) }
 
 // Config returns the hierarchy's configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }

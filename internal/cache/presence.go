@@ -1,0 +1,75 @@
+package cache
+
+import "repro/internal/mem"
+
+// Presence is a conservative per-line record of which cores may hold a
+// cache line in a private structure — a snoop filter with no false
+// negatives. A private cache fills only on its own core's accesses, so an
+// engine that calls Note on every access path knows that any core whose
+// bit is clear cannot hold the line; commit-time invalidation then visits
+// exactly the noted cores instead of broadcasting to every core. Skipped
+// cores would have experienced a no-op invalidation, so the filtered
+// publish is observably identical to the broadcast it replaces.
+//
+// Bits go stale when a line is silently evicted — that costs one no-op
+// invalidate later, never a missed one. Drain clears the bits of the
+// cores it returns, because after the caller invalidates them the line is
+// definitely absent there; a core that re-fills the line re-Notes it.
+//
+// Only cores 0..63 are tracked (one bit each). A core with a larger ID
+// has a zero bit — Note is a no-op and Drain never returns it — so
+// callers must keep broadcasting to cores beyond 64.
+type Presence struct {
+	bits []uint64
+}
+
+// Note records that the core with the given bit (CoreBit of its ID) may
+// now hold line. Call it before the access's cycle charge is ticked: the
+// fill itself happens before the simulated yield, so the record must too,
+// or a commit interleaved with the yield would skip a real invalidation.
+func (p *Presence) Note(line mem.Line, bit uint64) {
+	i := uint64(line)
+	if i < uint64(len(p.bits)) {
+		p.bits[i] |= bit
+		return
+	}
+	p.grow(i)
+	p.bits[i] |= bit
+}
+
+// Drain returns the tracked cores other than self that may hold line and
+// clears their bits; the caller must invalidate the line in exactly the
+// returned cores. The self bit is left in place — the committing core
+// keeps the line resident.
+func (p *Presence) Drain(line mem.Line, selfBit uint64) uint64 {
+	i := uint64(line)
+	if i >= uint64(len(p.bits)) {
+		return 0
+	}
+	others := p.bits[i] &^ selfBit
+	p.bits[i] &= selfBit
+	return others
+}
+
+// grow extends the table to cover index i (powers of two, like mem.Dense).
+func (p *Presence) grow(i uint64) {
+	n := uint64(len(p.bits))
+	if n < 1024 {
+		n = 1024
+	}
+	for n <= i {
+		n *= 2
+	}
+	nb := make([]uint64, n)
+	copy(nb, p.bits)
+	p.bits = nb
+}
+
+// CoreBit returns the presence bit of core id: 1<<id for tracked cores,
+// zero (never noted, never drained) beyond 63.
+func CoreBit(id int) uint64 {
+	if id >= 64 {
+		return 0
+	}
+	return uint64(1) << uint(id)
+}

@@ -7,6 +7,14 @@ type geometry struct {
 	sets, ways int
 }
 
+// maxPoolPerGeometry caps how many idle levels a pool keeps per geometry.
+// A sweep needs at most one L1/L2/xlate per simulated core, and the
+// evaluated core counts top out at 64 (Figure 8), so the cap never causes
+// steady-state reallocation; it only stops a sweep that mixes geometries
+// (e.g. scaling cache sizes) from pinning every retired variant's
+// multi-megabyte arrays forever.
+const maxPoolPerGeometry = 64
+
 // Scratch recycles the tag/stamp arrays of simulated cache levels across
 // simulations. A full hierarchy allocates several megabytes per cell
 // (Table 1's 32 MiB L3 alone is half a million tag/stamp pairs), which
@@ -14,8 +22,10 @@ type geometry struct {
 // scratch, a worker's next cell reuses the previous cell's arrays.
 //
 // Determinism: an acquired level is reset to the exact state a fresh
-// allocation would have (zero tags, zero stamps, zero clock), so a cell
-// behaves bit-identically whether its arrays are fresh or recycled.
+// allocation would have (zero tags, zero stamps, zero clock, zero MRU
+// predictions), so a cell behaves bit-identically whether its arrays are
+// fresh or recycled. The reset clears only the sets the previous owner
+// dirtied (see level.reset), not the whole array.
 //
 // A Scratch is not safe for concurrent use. The harness keeps one per
 // experiment worker (shared-nothing), matching the runner's cell
@@ -42,19 +52,22 @@ func (s *Scratch) acquire(sets, ways int) *level {
 	}
 	l := pool[len(pool)-1]
 	s.free[g] = pool[:len(pool)-1]
-	clear(l.tags)
-	clear(l.stamps)
-	l.clock = 0
+	l.reset()
 	return l
 }
 
-// release returns a level's arrays to the pool. Safe on a nil Scratch or
-// a nil level (both no-ops).
+// release returns a level's arrays to the pool, unless the pool already
+// holds maxPoolPerGeometry levels of that geometry (the level is then
+// left to the garbage collector). Safe on a nil Scratch or a nil level
+// (both no-ops).
 func (s *Scratch) release(l *level) {
 	if s == nil || l == nil {
 		return
 	}
 	g := geometry{sets: l.sets, ways: l.ways}
+	if len(s.free[g]) >= maxPoolPerGeometry {
+		return
+	}
 	s.free[g] = append(s.free[g], l)
 }
 

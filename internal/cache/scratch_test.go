@@ -66,6 +66,31 @@ func TestScratchRecyclesArrays(t *testing.T) {
 	}
 }
 
+// TestScratchPoolIsBounded pins the pool's memory bound: releases beyond
+// maxPoolPerGeometry levels of one geometry are dropped to the garbage
+// collector instead of pinning their arrays forever, and acquire drains
+// exactly the retained levels before falling back to fresh allocation.
+func TestScratchPoolIsBounded(t *testing.T) {
+	s := NewScratch()
+	const ways = 2
+	sizeBytes := 4 * mem.LineBytes * ways // 4 sets
+	for i := 0; i < maxPoolPerGeometry+10; i++ {
+		s.release(newLevel(sizeBytes, ways, nil))
+	}
+	g := geometry{sets: 4, ways: ways}
+	if got := len(s.free[g]); got != maxPoolPerGeometry {
+		t.Fatalf("pool holds %d levels of one geometry, want cap %d", got, maxPoolPerGeometry)
+	}
+	for i := 0; i < maxPoolPerGeometry; i++ {
+		if s.acquire(4, ways) == nil {
+			t.Fatalf("acquire %d returned nil with %d levels pooled", i, maxPoolPerGeometry)
+		}
+	}
+	if s.acquire(4, ways) != nil {
+		t.Fatal("acquire beyond the pooled count returned a level from an empty pool")
+	}
+}
+
 // TestNilScratchIsNoop: a nil pool must behave exactly like no pool.
 func TestNilScratchIsNoop(t *testing.T) {
 	var s *Scratch

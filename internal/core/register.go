@@ -34,6 +34,7 @@ func configFor(o tm.EngineOptions, serializable bool) Config {
 	if o.NoXlate {
 		cfg.Cache.XlateEntries = 0
 	}
+	cfg.Cache.Reference = o.ReferenceCache
 	cfg.Cache.Scratch = o.CacheScratch
 	return cfg
 }

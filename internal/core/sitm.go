@@ -13,6 +13,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/mem"
@@ -62,9 +64,22 @@ type Engine struct {
 	active *clock.ActiveTable
 	mem    *mvm.Memory
 	shared *cache.Shared
-	hier   map[int]*cache.Hierarchy
+	// hiers holds each core's private hierarchy, indexed by thread ID
+	// (IDs are dense, 0..n-1); nil until the thread first begins. nHier
+	// counts the created entries.
+	hiers  []*cache.Hierarchy
+	nHier  int
 	stats  tm.Stats
 	tracer tm.Tracer
+
+	// presence and xpresence filter commit-time invalidation (see
+	// cache.Presence): presence tracks which cores may hold a data line
+	// in L1/L2, xpresence which cores may hold a version-list line in
+	// their translation cache. The translation cache is keyed at
+	// version-list-line granularity — eight data lines share one entry —
+	// so translations need their own filter at that granularity.
+	presence  cache.Presence
+	xpresence cache.Presence
 
 	promoted map[string]bool
 	txnSeq   uint64
@@ -92,7 +107,6 @@ func New(cfg Config) *Engine {
 		active:   active,
 		mem:      mvm.New(cfg.MVM, clk, active),
 		shared:   cache.NewShared(cfg.Cache),
-		hier:     make(map[int]*cache.Hierarchy),
 		promoted: make(map[string]bool),
 		lastTxn:  make(map[int]*txn),
 	}
@@ -131,10 +145,15 @@ func (e *Engine) Clock() *clock.Clock { return e.clk }
 // hierarchy returns (creating on first use) the private cache hierarchy of
 // logical thread t.
 func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
-	h := e.hier[t.ID()]
+	id := t.ID()
+	for id >= len(e.hiers) {
+		e.hiers = append(e.hiers, nil)
+	}
+	h := e.hiers[id]
 	if h == nil {
 		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
-		e.hier[t.ID()] = h
+		e.hiers[id] = h
+		e.nHier++
 	}
 	return h
 }
@@ -142,13 +161,17 @@ func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
 // CacheStats returns aggregate cache statistics over all cores.
 func (e *Engine) CacheStats() cache.Stats {
 	var s cache.Stats
-	for _, h := range e.hier {
+	for _, h := range e.hiers {
+		if h == nil {
+			continue
+		}
 		s.L1Hits += h.Stats.L1Hits
 		s.L2Hits += h.Stats.L2Hits
 		s.L3Hits += h.Stats.L3Hits
 		s.MemAccesses += h.Stats.MemAccesses
 		s.XlateHits += h.Stats.XlateHits
 		s.XlateMisses += h.Stats.XlateMisses
+		s.Accesses += h.Stats.Accesses
 	}
 	return s
 }
@@ -158,10 +181,12 @@ func (e *Engine) CacheStats() cache.Stats {
 // it once the run's statistics have been extracted; the engine must not
 // run transactions afterwards.
 func (e *Engine) ReleaseCaches() {
-	for _, h := range e.hier {
-		h.Release()
+	for _, h := range e.hiers {
+		if h != nil {
+			h.Release()
+		}
 	}
-	e.hier = nil
+	e.hiers = nil
 	e.shared.Release()
 }
 
@@ -193,6 +218,10 @@ type txn struct {
 	id    uint64
 	start clock.Timestamp
 	site  string
+	// selfBit is this thread's presence bit (cache.CoreBit of its ID),
+	// noted on every access so committers know this core may hold the
+	// line (and, for versioned reads, its translation).
+	selfBit uint64
 
 	writes     map[mem.Line]*writeEntry
 	writeOrder []mem.Line
@@ -249,6 +278,7 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 			h:             old.h,
 			id:            e.txnSeq,
 			start:         e.clk.Begin(),
+			selfBit:       old.selfBit,
 			writes:        old.writes,
 			writeOrder:    old.writeOrder[:0],
 			promotedLines: old.promotedLines,
@@ -257,12 +287,13 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 		tx = old
 	} else {
 		tx = &txn{
-			e:      e,
-			t:      t,
-			h:      e.hierarchy(t),
-			id:     e.txnSeq,
-			start:  e.clk.Begin(),
-			writes: make(map[mem.Line]*writeEntry),
+			e:       e,
+			t:       t,
+			h:       e.hierarchy(t),
+			id:      e.txnSeq,
+			start:   e.clk.Begin(),
+			selfBit: cache.CoreBit(t.ID()),
+			writes:  make(map[mem.Line]*writeEntry),
 		}
 		e.lastTxn[t.ID()] = tx
 	}
@@ -287,7 +318,9 @@ func (x *txn) Site(s string) tm.Txn {
 // timestamp is returned (§4.2, TM READ), unless the transaction itself
 // wrote the word.
 func (x *txn) Read(a mem.Addr) uint64 {
-	if x.e.promoted[x.site] {
+	// Most workloads never promote a site; the len guard keeps the
+	// string-keyed map hash off the per-read hot path in that case.
+	if len(x.e.promoted) != 0 && x.e.promoted[x.site] {
 		return x.ReadPromoted(a)
 	}
 	return x.read(a)
@@ -295,6 +328,12 @@ func (x *txn) Read(a mem.Addr) uint64 {
 
 func (x *txn) read(a mem.Addr) uint64 {
 	line := mem.LineOf(a)
+	// Note before the Tick: the fills happen when AccessVersioned
+	// evaluates, before the yield, so the presence records must be in
+	// place for any commit that interleaves with the yield. A versioned
+	// access may fill both the data line and its translation.
+	x.e.presence.Note(line, x.selfBit)
+	x.e.xpresence.Note(cache.XlateLine(line), x.selfBit)
 	x.t.Tick(x.h.AccessVersioned(line))
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
@@ -302,8 +341,10 @@ func (x *txn) read(a mem.Addr) uint64 {
 	if x.e.cfg.Serializable {
 		x.trackRead(line)
 	}
-	if w, ok := x.writes[line]; ok && w.mask&(1<<mem.WordOf(a)) != 0 {
-		return w.words[mem.WordOf(a)]
+	if len(x.writes) != 0 {
+		if w, ok := x.writes[line]; ok && w.mask&(1<<mem.WordOf(a)) != 0 {
+			return w.words[mem.WordOf(a)]
+		}
 	}
 	v, ok := x.e.mem.ReadWord(a, x.start)
 	if !ok {
@@ -333,6 +374,7 @@ func (x *txn) ReadPromoted(a mem.Addr) uint64 {
 // traffic is emitted under lazy conflict detection.
 func (x *txn) Write(a mem.Addr, v uint64) {
 	line := mem.LineOf(a)
+	x.e.presence.Note(line, x.selfBit)
 	x.t.Tick(x.h.Access(line)) // write into the private cache
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
@@ -487,6 +529,9 @@ func (x *txn) Commit() error {
 		if _, mine := x.writes[line]; mine {
 			continue // validated atomically when the write installs
 		}
+		// Re-note: another commit may have drained this core's bit, and
+		// the Access below re-fills the line.
+		x.e.presence.Note(line, x.selfBit)
 		x.t.Tick(x.h.Access(line))
 		if x.e.mem.NewestTS(line) > x.start {
 			return x.commitAbortReserved(end, nil, line, tm.AbortSkew)
@@ -496,6 +541,7 @@ func (x *txn) Commit() error {
 	var installed []installRec
 	for _, line := range x.writeOrder {
 		w := x.writes[line]
+		x.e.presence.Note(line, x.selfBit)
 		x.t.Tick(x.h.Access(line)) // write the line back to the MVM
 		base, ok := x.e.mem.ReadLine(line, x.start)
 		if !ok {
@@ -556,11 +602,33 @@ func (x *txn) Commit() error {
 
 	// Publish: invalidate the committed lines in other cores' private
 	// caches so subsequent transactions fetch the new versions (§4.4).
+	// The presence filters bound the broadcast: data lines go only to
+	// cores that accessed them, translations only to cores that made a
+	// versioned access under the same version-list line (both filtered
+	// at their own granularity; skipped cores would see a no-op). The
+	// shared MVM partition holds one copy of the version-list line, so
+	// it is scanned once per line rather than once per core — but only
+	// when another core exists, matching the per-other-core fused
+	// invalidation this replaces (a solo committer never invalidated
+	// the partition, and partition residency is observable latency).
 	for _, line := range x.writeOrder {
-		for id, h := range x.e.hier {
-			if id != x.t.ID() {
-				h.Invalidate(line)
+		for others := x.e.presence.Drain(line, x.selfBit); others != 0; {
+			id := bits.TrailingZeros64(others)
+			others &^= 1 << uint(id)
+			x.e.hiers[id].InvalidateData(line)
+		}
+		for others := x.e.xpresence.Drain(cache.XlateLine(line), x.selfBit); others != 0; {
+			id := bits.TrailingZeros64(others)
+			others &^= 1 << uint(id)
+			x.e.hiers[id].InvalidateXlate(line)
+		}
+		for id := 64; id < len(x.e.hiers); id++ {
+			if h := x.e.hiers[id]; h != nil && id != x.t.ID() {
+				h.InvalidatePrivate(line)
 			}
+		}
+		if x.e.nHier > 1 {
+			x.e.shared.InvalidateVersions(line)
 		}
 	}
 	x.finished = true
@@ -660,6 +728,7 @@ func (x *txn) ssiWriterCheck(end clock.Timestamp, installed []installRec) error 
 // its write set and removes all written lines from the MVM (§4.2).
 func (x *txn) commitAbortReserved(end clock.Timestamp, installed []installRec, line mem.Line, kind tm.AbortKind) error {
 	for i := len(installed) - 1; i >= 0; i-- {
+		x.e.presence.Note(installed[i].line, x.selfBit)
 		x.t.Tick(x.h.Access(installed[i].line))
 		x.e.mem.Revert(installed[i].line, end, installed[i].undo)
 	}

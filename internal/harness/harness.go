@@ -116,6 +116,11 @@ type Options struct {
 	// conductor (sched.Sim.Slow) instead of the inline fast path; the
 	// differential tests use it to pin byte-identical figure output.
 	refSched bool
+	// refCache runs every cell with the reference memory-hierarchy
+	// model (cache.SlowHierarchy) instead of the way-predicted fast
+	// path; the differential tests use it to pin byte-identical figure
+	// output.
+	refCache bool
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -138,6 +143,7 @@ func (o Options) engineOptions() tm.EngineOptions {
 		DropOldest:        o.DropOldest,
 		NoCoalescing:      o.NoCoalescing,
 		NoXlate:           o.NoXlate,
+		ReferenceCache:    o.refCache,
 	}
 }
 

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFiguresByteIdenticalFastVsSlowCache is the acceptance gate for the
+// memory-hierarchy fast path at the report level: the Figure 7 and
+// Figure 8 tables must be byte-identical whether the cells simulate the
+// caches with the way-predicted implementation or the verbatim reference
+// model (cache.SlowHierarchy). The per-stream differential tests live in
+// internal/cache and the engine-level sweep in internal/tmtest; this one
+// proves the property survives engines, workloads, seed averaging and
+// table rendering.
+func TestFiguresByteIdenticalFastVsSlowCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full figure sweeps")
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"List"}}
+	fast := figureBytes(t, o)
+	o.refCache = true
+	slow := figureBytes(t, o)
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("figure output diverges between cache models:\n--- fast ---\n%s\n--- slow ---\n%s", fast, slow)
+	}
+}

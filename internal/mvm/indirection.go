@@ -65,12 +65,16 @@ func (c *Checkpoint) Rollback() {
 	if c.m.clk.InFlight() > 0 {
 		panic("mvm: rollback with commits in flight")
 	}
-	for lineAddr, vl := range c.m.lines {
+	for lineAddr, vl := range c.m.lines.Slice() {
+		if vl == nil {
+			continue
+		}
 		for len(vl.v) > 0 && vl.v[len(vl.v)-1].ts > c.ts {
 			vl.v = vl.v[:len(vl.v)-1]
 		}
 		if len(vl.v) == 0 && !vl.truncated {
-			delete(c.m.lines, lineAddr)
+			c.m.lines.Store(uint64(lineAddr), nil)
+			c.m.nLines--
 		}
 	}
 	c.Release()
@@ -103,8 +107,8 @@ func (d DedupStats) SharablePct() float64 {
 func (m *Memory) MeasureDedup() DedupStats {
 	var d DedupStats
 	seen := make(map[[mem.WordsPerLine]uint64]int)
-	for _, vl := range m.lines {
-		if len(vl.v) == 0 {
+	for _, vl := range m.lines.Slice() {
+		if vl == nil || len(vl.v) == 0 {
 			continue
 		}
 		d.Lines++

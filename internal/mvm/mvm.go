@@ -127,7 +127,12 @@ type Memory struct {
 	cfg    Config
 	clk    *clock.Clock
 	active *clock.ActiveTable
-	lines  map[mem.Line]*versionList
+	// lines is a flat table keyed by line number — the simulated
+	// address space is dense (bump allocated), and ReadWord sits on the
+	// per-access hot path where a map hash dominated. nLines counts the
+	// non-nil entries.
+	lines  mem.Dense[*versionList]
+	nLines int
 	stats  Stats
 }
 
@@ -140,7 +145,7 @@ func New(cfg Config, clk *clock.Clock, active *clock.ActiveTable) *Memory {
 	if cfg.Policy != Unbounded && cfg.MaxVersions <= 0 {
 		panic("mvm: bounded policy requires MaxVersions > 0")
 	}
-	return &Memory{cfg: cfg, clk: clk, active: active, lines: make(map[mem.Line]*versionList)}
+	return &Memory{cfg: cfg, clk: clk, active: active}
 }
 
 // safeHorizon returns the highest timestamp H such that no current or
@@ -181,7 +186,7 @@ func (vl *versionList) visible(at clock.Timestamp) (*version, int, bool) {
 // false when the required version has been discarded (DropOldest policy),
 // in which case the reading transaction must abort (§3.1).
 func (m *Memory) ReadWord(a mem.Addr, at clock.Timestamp) (val uint64, ok bool) {
-	vl := m.lines[mem.LineOf(a)]
+	vl := m.lines.Load(uint64(mem.LineOf(a)))
 	if vl == nil || len(vl.v) == 0 {
 		m.stats.AccessDepth[0]++
 		return 0, true
@@ -215,7 +220,7 @@ func (m *Memory) countDepth(depth int) {
 // It does not update the access histogram; engines use it to materialise
 // the copy-on-write base of a new version.
 func (m *Memory) ReadLine(l mem.Line, at clock.Timestamp) (data [mem.WordsPerLine]uint64, ok bool) {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil || len(vl.v) == 0 {
 		return data, true
 	}
@@ -234,7 +239,7 @@ func (m *Memory) ReadLine(l mem.Line, at clock.Timestamp) (data [mem.WordsPerLin
 // detection compares this against the committing transaction's start
 // timestamp (§4.2).
 func (m *Memory) NewestTS(l mem.Line) clock.Timestamp {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil || len(vl.v) == 0 {
 		return 0
 	}
@@ -246,7 +251,7 @@ func (m *Memory) NewestTS(l mem.Line) clock.Timestamp {
 //
 //sitm:allow(chargelint) commit-path callers (copy-on-write base reads, word-granularity conflict checks) charge the line access through cache.Hierarchy.AccessVersioned; this is the uncharged data fetch behind that already-charged access.
 func (m *Memory) NewestLine(l mem.Line) [mem.WordsPerLine]uint64 {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil || len(vl.v) == 0 {
 		return [mem.WordsPerLine]uint64{}
 	}
@@ -271,10 +276,12 @@ type Undo struct {
 // policy rejects the version; otherwise the returned Undo lets the caller
 // revert the install.
 func (m *Memory) Install(l mem.Line, ts clock.Timestamp, base [mem.WordsPerLine]uint64, mask uint8, words *[mem.WordsPerLine]uint64) (Undo, error) {
-	vl := m.lines[l]
+	vlp := m.lines.Slot(uint64(l))
+	vl := *vlp
 	if vl == nil {
 		vl = newVersionList()
-		m.lines[l] = vl
+		*vlp = vl
+		m.nLines++
 	}
 	data := base
 	for w := 0; w < mem.WordsPerLine; w++ {
@@ -381,7 +388,7 @@ func (m *Memory) gc(vl *versionList, installTS clock.Timestamp) {
 // pass below the target — a revert of a recent install (the only kind the
 // commit path performs) touches O(1) entries.
 func (m *Memory) Revert(l mem.Line, ts clock.Timestamp, u Undo) {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil {
 		return
 	}
@@ -399,7 +406,7 @@ func (m *Memory) Revert(l mem.Line, ts clock.Timestamp, u Undo) {
 
 // VersionCount returns how many versions of l currently exist.
 func (m *Memory) VersionCount(l mem.Line) int {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil {
 		return 0
 	}
@@ -409,7 +416,7 @@ func (m *Memory) VersionCount(l mem.Line) int {
 // VersionTimestamps returns the timestamps of l's versions in ascending
 // order; useful for tests that check coalescing behaviour (Figure 4).
 func (m *Memory) VersionTimestamps(l mem.Line) []clock.Timestamp {
-	vl := m.lines[l]
+	vl := m.lines.Load(uint64(l))
 	if vl == nil {
 		return nil
 	}
@@ -433,10 +440,12 @@ func (m *Memory) NonTxReadWord(a mem.Addr) uint64 {
 //sitm:allow(chargelint) non-transactional initialisation runs outside the measured region (single-threaded workload setup) and is uncharged by design.
 func (m *Memory) NonTxWriteWord(a mem.Addr, val uint64) {
 	l := mem.LineOf(a)
-	vl := m.lines[l]
+	vlp := m.lines.Slot(uint64(l))
+	vl := *vlp
 	if vl == nil {
 		vl = newVersionList()
-		m.lines[l] = vl
+		*vlp = vl
+		m.nLines++
 	}
 	if len(vl.v) == 0 {
 		vl.v = append(vl.v, version{ts: 0})
@@ -445,13 +454,15 @@ func (m *Memory) NonTxWriteWord(a mem.Addr, val uint64) {
 }
 
 // LinesAllocated returns the number of lines with at least one version.
-func (m *Memory) LinesAllocated() int { return len(m.lines) }
+func (m *Memory) LinesAllocated() int { return m.nLines }
 
 // TotalVersions returns the total number of versions currently stored.
 func (m *Memory) TotalVersions() int {
 	n := 0
-	for _, vl := range m.lines {
-		n += len(vl.v)
+	for _, vl := range m.lines.Slice() {
+		if vl != nil {
+			n += len(vl.v)
+		}
 	}
 	return n
 }

@@ -41,8 +41,8 @@ func (m *Memory) MeasureOverheads(bundleFactor int) Overheads {
 		bundleFactor = 1
 	}
 	o := Overheads{BundleFactor: bundleFactor}
-	for _, vl := range m.lines {
-		if len(vl.v) == 0 {
+	for _, vl := range m.lines.Slice() {
+		if vl == nil || len(vl.v) == 0 {
 			continue
 		}
 		o.LinesAllocated++

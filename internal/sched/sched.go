@@ -72,8 +72,13 @@ func (t *Thread) Rand() *Rand { return t.rng }
 func (t *Thread) Tick(c uint64) {
 	t.cycles += c
 	s := t.sim
-	if s.fast && (len(s.runq) == 0 || t.before(s.runq[0])) {
-		return
+	if s.fast {
+		if len(s.runq) == 0 {
+			return
+		}
+		if r := &s.runq[0]; t.cycles < r.cycles || (t.cycles == r.cycles && int32(t.id) < r.id) {
+			return
+		}
 	}
 	if !t.yield(struct{}{}) {
 		panic("sched: thread resumed after its conductor stopped")
@@ -112,8 +117,29 @@ type Sim struct {
 	// threads, keyed on (cycles, id); fast is set while Run's heap
 	// conductor is driving, enabling Tick's inline path. Slow leaves fast
 	// unset so every Tick reaches its linear-scan conductor.
-	runq []*Thread
+	runq []runqEnt
 	fast bool
+}
+
+// runqEnt is one heap slot: the thread plus an inline copy of its sort
+// key. A parked thread's counter is frozen (only the running thread
+// charges cycles, and WakeAll advances clocks before re-inserting), so
+// the snapshot taken at insertion stays exact; keeping it inline makes
+// every heap comparison a pair of loads from the heap array instead of a
+// pointer chase into the Thread.
+type runqEnt struct {
+	cycles uint64
+	id     int32
+	t      *Thread
+}
+
+// entOf snapshots t's sort key into a heap entry.
+func entOf(t *Thread) runqEnt { return runqEnt{cycles: t.cycles, id: int32(t.id), t: t} }
+
+// entBefore reports whether heap entry a orders before b
+// (lowest-cycle-first, ties by ID).
+func entBefore(a, b runqEnt) bool {
+	return a.cycles < b.cycles || (a.cycles == b.cycles && a.id < b.id)
 }
 
 // New creates a machine with n logical threads. The seed makes every
@@ -180,13 +206,20 @@ func (s *Sim) WakeAll(waker *Thread) {
 	}
 }
 
+// The run queue is a 4-ary heap: at the machine sizes simulated here
+// (up to 64 threads) it halves the sift depth of a binary heap and keeps
+// each node's children in one or two cache lines. Heap arity is not
+// observable — every pop still returns the unique (cycles, id) minimum,
+// so the interleaving is identical to any other heap's.
+const heapArity = 2
+
 // push inserts t into the run-queue heap.
 func (s *Sim) push(t *Thread) {
-	s.runq = append(s.runq, t)
+	s.runq = append(s.runq, entOf(t))
 	i := len(s.runq) - 1
 	for i > 0 {
-		p := (i - 1) / 2
-		if !s.runq[i].before(s.runq[p]) {
+		p := (i - 1) / heapArity
+		if !entBefore(s.runq[i], s.runq[p]) {
 			break
 		}
 		s.runq[i], s.runq[p] = s.runq[p], s.runq[i]
@@ -196,10 +229,10 @@ func (s *Sim) push(t *Thread) {
 
 // pop removes and returns the heap's minimum (cycles, id) thread.
 func (s *Sim) pop() *Thread {
-	min := s.runq[0]
+	min := s.runq[0].t
 	last := len(s.runq) - 1
 	s.runq[0] = s.runq[last]
-	s.runq[last] = nil
+	s.runq[last] = runqEnt{}
 	s.runq = s.runq[:last]
 	s.siftDown()
 	return min
@@ -211,31 +244,50 @@ func (s *Sim) pop() *Thread {
 // is by construction no longer ordered before the root, so pop-then-push
 // would sift twice for the same result.
 func (s *Sim) replaceTop(t *Thread) *Thread {
-	min := s.runq[0]
-	s.runq[0] = t
+	min := s.runq[0].t
+	s.runq[0] = entOf(t)
 	s.siftDown()
 	return min
 }
 
-// siftDown restores the heap property after the root was replaced.
+// siftDown restores the heap property after the root was replaced. The
+// displaced root is held out of the array and moves down a hole instead
+// of being swapped level by level: one store per level rather than a
+// 24-byte exchange. The final layout matches the classic swap formulation
+// (the child scan is the same strict left-to-right minimum), and pop
+// order would be unchanged by layout anyway — every pop extracts the
+// unique (cycles, id) minimum.
 func (s *Sim) siftDown() {
 	n := len(s.runq)
+	if n == 0 {
+		return
+	}
+	ent := s.runq[0]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		next := i
-		if l < n && s.runq[l].before(s.runq[next]) {
-			next = l
-		}
-		if r < n && s.runq[r].before(s.runq[next]) {
-			next = r
-		}
-		if next == i {
+		first := heapArity*i + 1
+		if first >= n {
 			break
 		}
-		s.runq[i], s.runq[next] = s.runq[next], s.runq[i]
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		next := first
+		best := s.runq[first]
+		for c := first + 1; c < last; c++ {
+			if entBefore(s.runq[c], best) {
+				next = c
+				best = s.runq[c]
+			}
+		}
+		if !entBefore(best, ent) {
+			break
+		}
+		s.runq[i] = best
 		i = next
 	}
+	s.runq[i] = ent
 }
 
 // start builds a fresh coroutine per logical thread, suspended before its

@@ -9,6 +9,7 @@ func init() {
 	tm.Register("SONTM", func(o tm.EngineOptions) tm.Engine {
 		cfg := DefaultConfig()
 		cfg.Cache.Scratch = o.CacheScratch
+		cfg.Cache.Reference = o.ReferenceCache
 		return New(cfg)
 	})
 }

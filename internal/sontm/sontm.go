@@ -17,6 +17,8 @@
 package sontm
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sched"
@@ -61,20 +63,35 @@ const sonGap = 1 << 10
 type Engine struct {
 	cfg    Config
 	shared *cache.Shared
-	hier   map[int]*cache.Hierarchy
+	// hiers holds each core's private hierarchy, indexed by thread ID
+	// (IDs are dense, 0..n-1); nil until the thread first begins.
+	hiers  []*cache.Hierarchy
 	stats  tm.Stats
 	tracer tm.Tracer
 
-	words map[mem.Addr]uint64
+	// presence filters commit-time invalidation: only cores that
+	// actually accessed a written line are visited (see cache.Presence);
+	// the skipped invalidations are no-ops.
+	presence cache.Presence
+
+	// words, writeNums and readNums are flat tables keyed by word/line
+	// number: the simulated address space is dense (bump allocated),
+	// and words/writeNums sit on the per-access hot path where a map
+	// hash dominated.
+	words mem.Dense[uint64]
 	// writeNums holds the SON of the last committed writer per line —
 	// SONTM's global write-numbers hashtable.
-	writeNums map[mem.Line]uint64
+	writeNums mem.Dense[uint64]
 	// readNums holds the maximum SON of any committed reader per line —
 	// the collapsed equivalent of the infinite read-history the paper
 	// models.
-	readNums map[mem.Line]uint64
+	readNums mem.Dense[uint64]
 
-	active map[*txn]struct{}
+	// active lists the in-flight transactions. A slice, not a set: the
+	// commit broadcast walks it once per written line, and every
+	// broadcast effect (interval raises/clamps, doom flags) is
+	// commutative, so the swap-remove order is unobservable.
+	active []*txn
 	txnSeq uint64
 
 	// lastTxn recycles each thread's most recent transaction object;
@@ -88,14 +105,9 @@ type Engine struct {
 // New creates a SONTM engine.
 func New(cfg Config) *Engine {
 	return &Engine{
-		cfg:       cfg,
-		shared:    cache.NewShared(cfg.Cache),
-		hier:      make(map[int]*cache.Hierarchy),
-		words:     make(map[mem.Addr]uint64),
-		writeNums: make(map[mem.Line]uint64),
-		readNums:  make(map[mem.Line]uint64),
-		active:    make(map[*txn]struct{}),
-		lastTxn:   make(map[int]*txn),
+		cfg:     cfg,
+		shared:  cache.NewShared(cfg.Cache),
+		lastTxn: make(map[int]*txn),
 	}
 }
 
@@ -113,16 +125,20 @@ func (e *Engine) Promote(string) {}
 func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
 
 // NonTxRead implements tm.Engine.
-func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words[a] }
+func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words.Load(mem.WordIndex(a)) }
 
 // NonTxWrite implements tm.Engine.
-func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words[a] = v }
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words.Store(mem.WordIndex(a), v) }
 
 func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
-	h := e.hier[t.ID()]
+	id := t.ID()
+	for id >= len(e.hiers) {
+		e.hiers = append(e.hiers, nil)
+	}
+	h := e.hiers[id]
 	if h == nil {
 		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
-		e.hier[t.ID()] = h
+		e.hiers[id] = h
 	}
 	return h
 }
@@ -132,12 +148,36 @@ func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
 // it once the run's statistics have been extracted; the engine must not
 // run transactions afterwards.
 func (e *Engine) ReleaseCaches() {
-	for _, h := range e.hier {
-		h.Release()
+	for _, h := range e.hiers {
+		if h != nil {
+			h.Release()
+		}
 	}
-	e.hier = nil
+	e.hiers = nil
 	e.shared.Release()
 }
+
+// CacheStats returns aggregate cache statistics over all cores.
+func (e *Engine) CacheStats() cache.Stats {
+	var s cache.Stats
+	for _, h := range e.hiers {
+		if h == nil {
+			continue
+		}
+		s.L1Hits += h.Stats.L1Hits
+		s.L2Hits += h.Stats.L2Hits
+		s.L3Hits += h.Stats.L3Hits
+		s.MemAccesses += h.Stats.MemAccesses
+		s.XlateHits += h.Stats.XlateHits
+		s.XlateMisses += h.Stats.XlateMisses
+		s.Accesses += h.Stats.Accesses
+	}
+	return s
+}
+
+// noLine is the lastRead sentinel: no real line has this number, so a
+// fresh transaction's first read always takes the map path.
+const noLine = ^mem.Line(0)
 
 // txn is one SONTM transaction attempt.
 type txn struct {
@@ -148,12 +188,25 @@ type txn struct {
 
 	lo, hi uint64 // SON interval, inclusive
 
-	readSet  map[mem.Line]struct{}
+	readSet map[mem.Line]struct{}
+	// lastRead memoises the line of the previous Read: the readSet
+	// insert is idempotent and entries are never removed mid-transaction
+	// (commit broadcasts only probe membership), so a repeat read of the
+	// same line skips the map write.
+	lastRead mem.Line
 	writeSet map[mem.Line]struct{}
 	writeLog map[mem.Addr]uint64
 	// writeOrder preserves first-write order so commit-time cache
 	// charging is deterministic (map iteration is not).
 	writeOrder []mem.Line
+
+	// selfBit is this thread's presence bit (cache.CoreBit of its ID),
+	// noted on every access so committers know this core may hold the
+	// line.
+	selfBit uint64
+	// activeIdx is this transaction's slot in Engine.active while
+	// in flight (swap-remove bookkeeping).
+	activeIdx int
 
 	doomed   bool
 	doomLine mem.Line
@@ -177,6 +230,8 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 			e: e, t: t, h: old.h, id: e.txnSeq,
 			lo: 1, hi: maxSON,
 			readSet:    old.readSet,
+			lastRead:   noLine,
+			selfBit:    old.selfBit,
 			writeSet:   old.writeSet,
 			writeLog:   old.writeLog,
 			writeOrder: old.writeOrder[:0],
@@ -187,12 +242,15 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
 			lo: 1, hi: maxSON,
 			readSet:  make(map[mem.Line]struct{}),
+			lastRead: noLine,
+			selfBit:  cache.CoreBit(t.ID()),
 			writeSet: make(map[mem.Line]struct{}),
 			writeLog: make(map[mem.Addr]uint64),
 		}
 		e.lastTxn[t.ID()] = tx
 	}
-	e.active[tx] = struct{}{}
+	tx.activeIdx = len(e.active)
+	e.active = append(e.active, tx)
 	if e.tracer != nil {
 		e.tracer.TxnBegin(tx.id, t.ID())
 	}
@@ -251,17 +309,26 @@ func (x *txn) abortDoomed() error {
 func (x *txn) Read(a mem.Addr) uint64 {
 	x.checkDoom()
 	line := mem.LineOf(a)
+	// Note before the Tick: the fill happens when Access evaluates,
+	// before the yield, so the presence record must be in place for any
+	// commit that interleaves with the yield.
+	x.e.presence.Note(line, x.selfBit)
 	x.t.Tick(x.h.Access(line))
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
-	x.readSet[line] = struct{}{}
-	x.raiseLo(x.e.writeNums[line]+1, line)
-	x.checkDoom()
-	if v, ok := x.writeLog[a]; ok {
-		return v
+	if line != x.lastRead {
+		x.readSet[line] = struct{}{}
+		x.lastRead = line
 	}
-	return x.e.words[a]
+	x.raiseLo(x.e.writeNums.Load(uint64(line))+1, line)
+	x.checkDoom()
+	if len(x.writeLog) != 0 {
+		if v, ok := x.writeLog[a]; ok {
+			return v
+		}
+	}
+	return x.e.words.Load(mem.WordIndex(a))
 }
 
 // ReadPromoted implements tm.Txn; SONTM is serializable, so it is an
@@ -273,21 +340,31 @@ func (x *txn) ReadPromoted(a mem.Addr) uint64 { return x.Read(a) }
 func (x *txn) Write(a mem.Addr, v uint64) {
 	x.checkDoom()
 	line := mem.LineOf(a)
+	x.e.presence.Note(line, x.selfBit)
 	x.t.Tick(x.h.Access(line))
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
 	}
-	if _, ok := x.writeSet[line]; !ok {
-		x.writeSet[line] = struct{}{}
+	// One map operation instead of probe-then-insert: the length delta
+	// reveals whether the assignment was a first write.
+	n := len(x.writeSet)
+	x.writeSet[line] = struct{}{}
+	if len(x.writeSet) != n {
 		x.writeOrder = append(x.writeOrder, line)
 	}
 	x.writeLog[a] = v
-	x.raiseLo(x.e.writeNums[line]+1, line)
+	x.raiseLo(x.e.writeNums.Load(uint64(line))+1, line)
 	x.checkDoom()
 }
 
 func (x *txn) cleanup() {
-	delete(x.e.active, x)
+	a := x.e.active
+	last := len(a) - 1
+	moved := a[last]
+	a[x.activeIdx] = moved
+	moved.activeIdx = x.activeIdx
+	a[last] = nil
+	x.e.active = a[:last]
 	x.finished = true
 }
 
@@ -320,8 +397,8 @@ func (x *txn) Commit() error {
 		// future writers serialize after them.
 		son := x.lo
 		for line := range x.readSet {
-			if son > x.e.readNums[line] {
-				x.e.readNums[line] = son
+			if rn := x.e.readNums.Slot(uint64(line)); son > *rn {
+				*rn = son
 			}
 		}
 		x.cleanup()
@@ -346,7 +423,7 @@ func (x *txn) Commit() error {
 	// retained readsets, which tracks concurrency.
 	for line := range x.writeSet {
 		cost += x.e.cfg.BroadcastCost + x.e.cfg.HistoryCheckCost*uint64(len(x.e.active))
-		x.raiseLo(x.e.readNums[line]+1, line)
+		x.raiseLo(x.e.readNums.Load(uint64(line))+1, line)
 	}
 	// Writers occupy the next sonGap multiple above their lower bound,
 	// leaving room below for overlapping readers to serialize.
@@ -359,7 +436,7 @@ func (x *txn) Commit() error {
 	// Broadcast the write set: concurrent readers of these lines must
 	// serialize before us; concurrent writers after us.
 	for _, line := range x.writeOrder {
-		for other := range x.e.active {
+		for _, other := range x.e.active {
 			if other == x || other.finished {
 				continue
 			}
@@ -380,22 +457,33 @@ func (x *txn) Commit() error {
 	// Write back and tag committed writes with the SON in the global
 	// write-numbers hashtable.
 	for a, v := range x.writeLog {
-		x.e.words[a] = v
+		x.e.words.Store(mem.WordIndex(a), v)
 	}
 	for _, line := range x.writeOrder {
+		// Re-note: another commit may have drained this core's bit, and
+		// the Access below re-fills the line.
+		x.e.presence.Note(line, x.selfBit)
 		cost += x.h.Access(line) + x.e.cfg.HashCost
-		if son > x.e.writeNums[line] {
-			x.e.writeNums[line] = son
+		if wn := x.e.writeNums.Slot(uint64(line)); son > *wn {
+			*wn = son
 		}
-		for id, h := range x.e.hier {
-			if id != x.t.ID() {
-				h.Invalidate(line)
+		// SONTM never performs versioned accesses, so only the data
+		// caches can hold the line; invalidate exactly the cores the
+		// presence filter says may hold it.
+		for others := x.e.presence.Drain(line, x.selfBit); others != 0; {
+			id := bits.TrailingZeros64(others)
+			others &^= 1 << uint(id)
+			x.e.hiers[id].InvalidateData(line)
+		}
+		for id := 64; id < len(x.e.hiers); id++ {
+			if h := x.e.hiers[id]; h != nil && id != x.t.ID() {
+				h.InvalidateData(line)
 			}
 		}
 	}
 	for line := range x.readSet {
-		if son > x.e.readNums[line] {
-			x.e.readNums[line] = son
+		if rn := x.e.readNums.Slot(uint64(line)); son > *rn {
+			*rn = son
 		}
 	}
 	x.cleanup()

@@ -25,6 +25,12 @@ type EngineOptions struct {
 	NoCoalescing bool
 	// NoXlate disables the translation cache (ablation).
 	NoXlate bool
+	// ReferenceCache routes every simulated memory access through the
+	// verbatim pre-fast-path cache model (cache.SlowHierarchy), the
+	// differential oracle for the way-predicted implementation. Results
+	// are bit-identical to the default; only simulator wall time
+	// changes.
+	ReferenceCache bool
 	// CacheScratch, when non-nil, recycles simulated cache arrays
 	// across the engines built with these options. It never changes
 	// simulated behaviour; callers own the scratch's single-threaded

@@ -1,0 +1,57 @@
+package tmtest_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// TestCacheDifferential pins the memory-hierarchy fast path at the engine
+// level: for every registered engine, across thread counts and seeds, the
+// way-predicted cache model and the verbatim reference model
+// (cache.SlowHierarchy, selected by EngineOptions.ReferenceCache) produce
+// bit-identical engine statistics, makespans, final memory state and
+// cache statistics. Any divergence means the fast path changed a charged
+// latency or an eviction, which would silently shift every figure in the
+// evaluation. The per-stream property tests live in internal/cache and
+// the report-level gate in internal/harness; this sweep proves the
+// equivalence survives real engine access patterns, including the
+// commit-time invalidation traffic.
+func TestCacheDifferential(t *testing.T) {
+	for _, name := range tm.Engines() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/t%d/s%d", name, threads, seed), func(t *testing.T) {
+					fast := runEngineWorkload(t, name, tm.EngineOptions{}, threads, seed, (*sched.Sim).Run)
+					slow := runEngineWorkload(t, name, tm.EngineOptions{ReferenceCache: true}, threads, seed, (*sched.Sim).Run)
+					if fast != slow {
+						t.Errorf("fast cache %+v\nreference cache %+v", fast, slow)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCacheStatsAccounting audits the hit/miss bookkeeping for every
+// registered engine: each simulated access resolves at exactly one level,
+// so the per-level hit counts plus memory accesses must sum to the total
+// access count (translation-cache probes are accounted separately, as
+// they ride along with a versioned access rather than resolving it).
+func TestCacheStatsAccounting(t *testing.T) {
+	for _, name := range tm.Engines() {
+		t.Run(name, func(t *testing.T) {
+			res := runEngineWorkload(t, name, tm.EngineOptions{}, 4, 1, (*sched.Sim).Run)
+			cs := res.cache
+			if cs.Accesses == 0 {
+				t.Fatalf("%s reported no simulated cache accesses", name)
+			}
+			if got := cs.L1Hits + cs.L2Hits + cs.L3Hits + cs.MemAccesses; got != cs.Accesses {
+				t.Errorf("%s cache stats do not balance: L1 %d + L2 %d + L3 %d + mem %d = %d, want Accesses %d",
+					name, cs.L1Hits, cs.L2Hits, cs.L3Hits, cs.MemAccesses, got, cs.Accesses)
+			}
+		})
+	}
+}

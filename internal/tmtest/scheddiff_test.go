@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sched"
 	"repro/internal/tm"
@@ -16,15 +17,23 @@ import (
 type schedResult struct {
 	stats    tm.Stats
 	makespan uint64
-	state    uint64 // xor over final memory words, pins the data too
+	state    uint64      // xor over final memory words, pins the data too
+	cache    cache.Stats // aggregate simulated-cache stats, when the engine reports them
+}
+
+// cacheStatser is implemented by every engine that simulates the memory
+// hierarchy; the sweeps use it to compare and audit cache statistics
+// without per-engine knowledge.
+type cacheStatser interface {
+	CacheStats() cache.Stats
 }
 
 // runEngineWorkload drives a mixed workload (contended counters plus bank
 // transfers) on a fresh engine under the given conductor — the inline
 // fast-path scheduler (*Sim).Run or the reference (*Sim).Slow.
-func runEngineWorkload(t *testing.T, name string, threads int, seed uint64, run func(*sched.Sim, func(*sched.Thread))) schedResult {
+func runEngineWorkload(t *testing.T, name string, opts tm.EngineOptions, threads int, seed uint64, run func(*sched.Sim, func(*sched.Thread))) schedResult {
 	t.Helper()
-	e, err := tm.NewEngine(name, tm.EngineOptions{})
+	e, err := tm.NewEngine(name, opts)
 	if err != nil {
 		t.Fatalf("constructing %s: %v", name, err)
 	}
@@ -58,6 +67,9 @@ func runEngineWorkload(t *testing.T, name string, threads int, seed uint64, run 
 		}
 	})
 	res := schedResult{stats: *e.Stats(), makespan: s.Makespan()}
+	if cs, ok := e.(cacheStatser); ok {
+		res.cache = cs.CacheStats()
+	}
 	for i := 0; i < accounts; i++ {
 		res.state ^= e.NonTxRead(addr(i)) * uint64(i+1)
 	}
@@ -75,8 +87,8 @@ func TestSchedulerDifferential(t *testing.T) {
 		for _, threads := range []int{1, 2, 4, 8} {
 			for seed := uint64(1); seed <= 3; seed++ {
 				t.Run(fmt.Sprintf("%s/t%d/s%d", name, threads, seed), func(t *testing.T) {
-					fast := runEngineWorkload(t, name, threads, seed, (*sched.Sim).Run)
-					slow := runEngineWorkload(t, name, threads, seed, (*sched.Sim).Slow)
+					fast := runEngineWorkload(t, name, tm.EngineOptions{}, threads, seed, (*sched.Sim).Run)
+					slow := runEngineWorkload(t, name, tm.EngineOptions{}, threads, seed, (*sched.Sim).Slow)
 					if fast != slow {
 						t.Errorf("fast conductor %+v\nslow conductor %+v", fast, slow)
 					}

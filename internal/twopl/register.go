@@ -8,6 +8,7 @@ func init() {
 	tm.Register("2PL", func(o tm.EngineOptions) tm.Engine {
 		cfg := DefaultConfig()
 		cfg.Cache.Scratch = o.CacheScratch
+		cfg.Cache.Reference = o.ReferenceCache
 		return New(cfg)
 	})
 }

@@ -13,6 +13,8 @@
 package twopl
 
 import (
+	"math/bits"
+
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sched"
@@ -48,6 +50,10 @@ func DefaultConfig() Config {
 	return Config{Cache: cache.DefaultConfig(), BroadcastCost: 2, CommitOverhead: 10, InterruptCost: 200}
 }
 
+// noLine is the lastRead sentinel: no real line has this number, so a
+// fresh transaction's first read always takes the map path.
+const noLine = ^mem.Line(0)
+
 // lineState tracks which active transactions hold a line transactionally.
 type lineState struct {
 	writer  *txn
@@ -58,12 +64,24 @@ type lineState struct {
 type Engine struct {
 	cfg    Config
 	shared *cache.Shared
-	hier   map[int]*cache.Hierarchy
+	// hiers holds each core's private hierarchy, indexed by thread ID
+	// (IDs are dense, 0..n-1); nil until the thread first begins.
+	hiers  []*cache.Hierarchy
 	stats  tm.Stats
 	tracer tm.Tracer
 
-	words  map[mem.Addr]uint64
-	lines  map[mem.Line]*lineState
+	// presence filters commit-time invalidation: instead of broadcasting
+	// every written line to every other core, only cores that actually
+	// accessed the line since it was last invalidated are visited. The
+	// skipped invalidations are no-ops (see cache.Presence), so the
+	// filtered publish is observably identical.
+	presence cache.Presence
+
+	// words and lines are flat tables keyed by word/line number: the
+	// simulated address space is dense (bump allocated), and these sit
+	// on the per-access hot path where a map hash dominated.
+	words  mem.Dense[uint64]
+	lines  mem.Dense[*lineState]
 	txnSeq uint64
 
 	// lastTxn recycles each thread's most recent transaction object.
@@ -82,9 +100,6 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:     cfg,
 		shared:  cache.NewShared(cfg.Cache),
-		hier:    make(map[int]*cache.Hierarchy),
-		words:   make(map[mem.Addr]uint64),
-		lines:   make(map[mem.Line]*lineState),
 		lastTxn: make(map[int]*txn),
 	}
 }
@@ -103,16 +118,20 @@ func (e *Engine) Promote(string) {}
 func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
 
 // NonTxRead implements tm.Engine.
-func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words[a] }
+func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words.Load(mem.WordIndex(a)) }
 
 // NonTxWrite implements tm.Engine.
-func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words[a] = v }
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words.Store(mem.WordIndex(a), v) }
 
 func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
-	h := e.hier[t.ID()]
+	id := t.ID()
+	for id >= len(e.hiers) {
+		e.hiers = append(e.hiers, nil)
+	}
+	h := e.hiers[id]
 	if h == nil {
 		h = cache.NewHierarchy(e.cfg.Cache, e.shared)
-		e.hier[t.ID()] = h
+		e.hiers[id] = h
 	}
 	return h
 }
@@ -122,20 +141,39 @@ func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
 // it once the run's statistics have been extracted; the engine must not
 // run transactions afterwards.
 func (e *Engine) ReleaseCaches() {
-	for _, h := range e.hier {
-		h.Release()
+	for _, h := range e.hiers {
+		if h != nil {
+			h.Release()
+		}
 	}
-	e.hier = nil
+	e.hiers = nil
 	e.shared.Release()
 }
 
-func (e *Engine) state(l mem.Line) *lineState {
-	s := e.lines[l]
-	if s == nil {
-		s = &lineState{readers: make(map[*txn]struct{})}
-		e.lines[l] = s
+// CacheStats returns aggregate cache statistics over all cores.
+func (e *Engine) CacheStats() cache.Stats {
+	var s cache.Stats
+	for _, h := range e.hiers {
+		if h == nil {
+			continue
+		}
+		s.L1Hits += h.Stats.L1Hits
+		s.L2Hits += h.Stats.L2Hits
+		s.L3Hits += h.Stats.L3Hits
+		s.MemAccesses += h.Stats.MemAccesses
+		s.XlateHits += h.Stats.XlateHits
+		s.XlateMisses += h.Stats.XlateMisses
+		s.Accesses += h.Stats.Accesses
 	}
 	return s
+}
+
+func (e *Engine) state(l mem.Line) *lineState {
+	sp := e.lines.Slot(uint64(l))
+	if *sp == nil {
+		*sp = &lineState{readers: make(map[*txn]struct{})}
+	}
+	return *sp
 }
 
 // txn is one 2PL transaction attempt.
@@ -145,12 +183,26 @@ type txn struct {
 	h  *cache.Hierarchy
 	id uint64
 
-	readSet  map[mem.Line]struct{}
+	// readLines lists the lines this transaction holds in shared mode,
+	// each exactly once (the insert is guarded by st.readers
+	// membership, which doubles as the dedup set — one map operation
+	// per read instead of the two a separate read-set map cost).
+	readLines []mem.Line
+	// lastRead memoises the line of the previous Read: membership in
+	// st.readers is idempotent and never revoked mid-transaction, so a
+	// repeat read of the same line (sequential word scans hit the same
+	// line eight times) can skip the map probe entirely.
+	lastRead mem.Line
 	writeLog map[mem.Addr]uint64
 	writeSet map[mem.Line]struct{}
 	// writeOrder preserves first-write order so commit-time cycle
 	// charging is deterministic (map iteration is not).
 	writeOrder []mem.Line
+
+	// selfBit is this thread's presence bit (cache.CoreBit of its ID),
+	// noted on every access so committers know this core may hold the
+	// line.
+	selfBit uint64
 
 	doomed   bool
 	doomKind tm.AbortKind
@@ -168,12 +220,13 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	if old := e.lastTxn[t.ID()]; old != nil && old.finished {
 		// clear keeps the maps' grown capacity, so steady-state
 		// transactions insert without rehashing.
-		clear(old.readSet)
 		clear(old.writeLog)
 		clear(old.writeSet)
 		*old = txn{
 			e: e, t: t, h: old.h, id: e.txnSeq,
-			readSet:    old.readSet,
+			readLines:  old.readLines[:0],
+			lastRead:   noLine,
+			selfBit:    old.selfBit,
 			writeLog:   old.writeLog,
 			writeSet:   old.writeSet,
 			writeOrder: old.writeOrder[:0],
@@ -182,7 +235,8 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	} else {
 		tx = &txn{
 			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
-			readSet:  make(map[mem.Line]struct{}),
+			lastRead: noLine,
+			selfBit:  cache.CoreBit(t.ID()),
 			writeLog: make(map[mem.Addr]uint64),
 			writeSet: make(map[mem.Line]struct{}),
 		}
@@ -253,6 +307,10 @@ func (x *txn) Read(a mem.Addr) uint64 {
 	x.checkDoom()
 	line := mem.LineOf(a)
 	x.maybeInterrupt(line)
+	// Note before the Tick: the fill happens when Access evaluates,
+	// before the yield, so the presence record must be in place for any
+	// commit that interleaves with the yield.
+	x.e.presence.Note(line, x.selfBit)
 	x.t.Tick(x.h.Access(line) + x.e.cfg.BroadcastCost)
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
@@ -261,12 +319,22 @@ func (x *txn) Read(a mem.Addr) uint64 {
 	if st.writer != nil && st.writer != x {
 		st.writer.doom(tm.AbortReadWrite, line)
 	}
-	st.readers[x] = struct{}{}
-	x.readSet[line] = struct{}{}
-	if v, ok := x.writeLog[a]; ok {
-		return v
+	if line != x.lastRead {
+		// One map operation instead of probe-then-insert: the length
+		// delta reveals whether the assignment was a first read.
+		n := len(st.readers)
+		st.readers[x] = struct{}{}
+		if len(st.readers) != n {
+			x.readLines = append(x.readLines, line)
+		}
+		x.lastRead = line
 	}
-	return x.e.words[a]
+	if len(x.writeLog) != 0 {
+		if v, ok := x.writeLog[a]; ok {
+			return v
+		}
+	}
+	return x.e.words.Load(mem.WordIndex(a))
 }
 
 // ReadPromoted implements tm.Txn; under 2PL it is an ordinary read.
@@ -278,6 +346,7 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 	x.checkDoom()
 	line := mem.LineOf(a)
 	x.maybeInterrupt(line)
+	x.e.presence.Note(line, x.selfBit)
 	x.t.Tick(x.h.Access(line) + x.e.cfg.BroadcastCost)
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
@@ -304,8 +373,11 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 		}
 	}
 	st.writer = x
-	if _, ok := x.writeSet[line]; !ok {
-		x.writeSet[line] = struct{}{}
+	// One map operation instead of probe-then-insert: the length delta
+	// reveals whether the assignment was a first write.
+	n := len(x.writeSet)
+	x.writeSet[line] = struct{}{}
+	if len(x.writeSet) != n {
 		x.writeOrder = append(x.writeOrder, line)
 	}
 	x.writeLog[a] = v
@@ -313,13 +385,13 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 
 // cleanup removes the transaction from every line state.
 func (x *txn) cleanup() {
-	for line := range x.readSet {
-		if st := x.e.lines[line]; st != nil {
+	for _, line := range x.readLines {
+		if st := x.e.lines.Load(uint64(line)); st != nil {
 			delete(st.readers, x)
 		}
 	}
 	for line := range x.writeSet {
-		if st := x.e.lines[line]; st != nil && st.writer == x {
+		if st := x.e.lines.Load(uint64(line)); st != nil && st.writer == x {
 			st.writer = nil
 		}
 	}
@@ -375,13 +447,25 @@ func (x *txn) Commit() error {
 		return x.abortDoomed()
 	}
 	for a, v := range x.writeLog {
-		x.e.words[a] = v
+		x.e.words.Store(mem.WordIndex(a), v)
 	}
 	for _, line := range x.writeOrder {
+		// Re-note: another commit may have drained this core's bit
+		// while we were stalled, and the Access below re-fills the line.
+		x.e.presence.Note(line, x.selfBit)
 		x.t.Tick(x.h.Access(line))
-		for id, h := range x.e.hier {
-			if id != x.t.ID() {
-				h.Invalidate(line)
+		// 2PL never performs versioned accesses, so only the data
+		// caches can hold the line (the translation caches and MVM
+		// partition are never filled); invalidate exactly the cores the
+		// presence filter says may hold it.
+		for others := x.e.presence.Drain(line, x.selfBit); others != 0; {
+			id := bits.TrailingZeros64(others)
+			others &^= 1 << uint(id)
+			x.e.hiers[id].InvalidateData(line)
+		}
+		for id := 64; id < len(x.e.hiers); id++ {
+			if h := x.e.hiers[id]; h != nil && id != x.t.ID() {
+				h.InvalidateData(line)
 			}
 		}
 	}
