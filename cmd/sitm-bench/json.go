@@ -14,10 +14,14 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/mem"
 	"repro/internal/mvm"
 	"repro/internal/sched"
+	"repro/internal/sontm"
+	"repro/internal/tm"
+	"repro/internal/twopl"
 )
 
 // benchSection is the benchmark record of one figure or table sweep: its
@@ -147,10 +151,11 @@ func (b *benchCollector) write(path string) error {
 
 // measureHotPaths benchmarks the allocation-free hot paths the benchmark
 // trajectory pins — the scheduler Tick fast path, the MVM steady-state
-// Install and the memory-hierarchy way-predicted probes — with the same
-// shapes as the package benchmarks (BenchmarkTick in internal/sched,
-// BenchmarkInstall in internal/mvm, BenchmarkAccess/BenchmarkAccessVersioned
-// in internal/cache).
+// Install, the memory-hierarchy way-predicted probes and each TM engine's
+// full-commit transaction path — with the same shapes as the package
+// benchmarks (BenchmarkTick in internal/sched, BenchmarkInstall in
+// internal/mvm, BenchmarkAccess/BenchmarkAccessVersioned in
+// internal/cache, BenchmarkCommit/hit in each engine package).
 func measureHotPaths() []benchHotPath {
 	tick := testing.Benchmark(func(b *testing.B) {
 		s := sched.New(2, 1)
@@ -218,10 +223,50 @@ func measureHotPaths() []benchHotPath {
 		{Name: "cache.Access", NsPerOp: float64(access.T.Nanoseconds()) / float64(access.N), AllocsPerOp: access.AllocsPerOp()},
 		{Name: "cache.AccessVersioned", NsPerOp: float64(versioned.T.Nanoseconds()) / float64(versioned.N), AllocsPerOp: versioned.AllocsPerOp()},
 	}
+	// The engine transaction hot paths: one whole writer transaction per
+	// op (begin, four first-writes, commit) on the aset-backed fast sets.
+	for _, eng := range []struct {
+		name string
+		make func() tm.Engine
+	}{
+		{"core.Commit", func() tm.Engine { return core.New(core.DefaultConfig()) }},
+		{"twopl.Commit", func() tm.Engine { return twopl.New(twopl.DefaultConfig()) }},
+		{"sontm.Commit", func() tm.Engine { return sontm.New(sontm.DefaultConfig()) }},
+	} {
+		r := testing.Benchmark(engineCommitBench(eng.make()))
+		out = append(out, benchHotPath{Name: eng.name, NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N), AllocsPerOp: r.AllocsPerOp()})
+	}
 	for _, hp := range out {
 		if hp.AllocsPerOp != 0 {
 			fmt.Fprintf(os.Stderr, "sitm-bench: warning: %s allocates %d allocs/op (expected 0)\n", hp.Name, hp.AllocsPerOp)
 		}
 	}
 	return out
+}
+
+// engineCommitBench is the full-commit transaction shape on a
+// single-threaded simulation, after one warm-up transaction brings the
+// engine's recycled transaction object and access sets to steady state.
+func engineCommitBench(e tm.Engine) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := sched.New(1, 1)
+		s.Run(func(th *sched.Thread) {
+			commitOne := func(i int) {
+				tx := e.Begin(th)
+				for l := 0; l < 4; l++ {
+					tx.Write(mem.Addr((1+l)*mem.LineBytes), uint64(i))
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			commitOne(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				commitOne(i)
+			}
+			b.StopTimer()
+		})
+	}
 }

@@ -26,9 +26,8 @@ func TestExplicitAbortUnderSSIDropsReaders(t *testing.T) {
 			t.Fatalf("writer after aborted reader: %v", err)
 		}
 	})
-	e.pruneSSI()
-	if len(e.readers) != 0 {
-		t.Fatalf("aborted reader left %d reader entries", len(e.readers))
+	if err := e.AuditAccessSets(); err != nil {
+		t.Fatalf("aborted reader left live state: %v", err)
 	}
 }
 

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// The per-transaction hot paths — Read, Write and Commit — run once per
+// simulated access and once per transaction across every figure sweep, so
+// they must be allocation-free in steady state: access sets are aset
+// tables that Reset in O(touched), transaction objects recycle per
+// thread, and the commit install buffer is reused. The benchmarks pin two
+// regimes per path: "hit" is the repeat-access fast path on plain SI-TM;
+// "conflict" runs SSI-TM with its visible-reader tracking engaged — the
+// reader-table CompactAdd sweep on reads, and the commit-time writer
+// check scanning an overlapping reader's records on writes and commits.
+// TestTxnHotPathsAllocFree asserts 0 allocs/op for all of them; the CI
+// bench smoke and sitm-bench -json report them.
+
+// benchTxnOps is the transaction length of the access-level benchmarks:
+// long enough to amortise Begin/Commit, short enough that a per-txn
+// regression is visible in ns/op.
+const benchTxnOps = 256
+
+func benchLineAddr(i int) mem.Addr { return mem.Addr((1 + i) * mem.LineBytes) }
+
+// runSingle drives body as the only thread of a deterministic simulation.
+func runSingle(body func(th *sched.Thread)) {
+	s := sched.New(1, 1)
+	s.Run(body)
+}
+
+// runWithBystander drives body on thread 0 while thread 1 holds one
+// transaction open across the whole timed region: it begins, touches its
+// lines via setup, then sleeps past every cycle thread 0 can reach, so
+// the conflict-detection machinery sees a concurrent transaction on every
+// operation. The bystander aborts once thread 0 finishes.
+func runWithBystander(e *Engine, setup func(tm.Txn), body func(th *sched.Thread)) {
+	s := sched.New(2, 1)
+	s.Run(func(th *sched.Thread) {
+		if th.ID() == 1 {
+			by := e.Begin(th)
+			setup(by)
+			th.Tick(1 << 62)
+			by.Abort()
+			return
+		}
+		// Start past the bystander's setup so it begins first.
+		th.Tick(1 << 12)
+		body(th)
+	})
+}
+
+func benchEngine(serializable bool) *Engine {
+	cfg := DefaultConfig()
+	cfg.Serializable = serializable
+	return New(cfg)
+}
+
+// benchReads runs read-only transactions of benchTxnOps reads cycling
+// over spread lines.
+func benchReads(b *testing.B, e *Engine, th *sched.Thread, spread int) {
+	// One warm-up transaction brings the sets, the version chains and
+	// the recycled object to steady state.
+	tx := e.Begin(th)
+	for i := 0; i < spread; i++ {
+		_ = tx.Read(benchLineAddr(i))
+	}
+	_ = tx.Commit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	tx = e.Begin(th)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		_ = tx.Read(benchLineAddr(i % spread))
+		if n++; n == benchTxnOps {
+			_ = tx.Commit()
+			tx = e.Begin(th)
+			n = 0
+		}
+	}
+	b.StopTimer()
+	_ = tx.Commit()
+}
+
+// benchWrites runs write-only transactions of benchTxnOps writes cycling
+// over spread lines.
+func benchWrites(b *testing.B, e *Engine, th *sched.Thread, spread int) {
+	tx := e.Begin(th)
+	for i := 0; i < spread; i++ {
+		tx.Write(benchLineAddr(i), uint64(i))
+	}
+	_ = tx.Commit()
+	b.ReportAllocs()
+	b.ResetTimer()
+	tx = e.Begin(th)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		tx.Write(benchLineAddr(i%spread), uint64(i))
+		if n++; n == benchTxnOps {
+			_ = tx.Commit()
+			tx = e.Begin(th)
+			n = 0
+		}
+	}
+	b.StopTimer()
+	_ = tx.Commit()
+}
+
+// benchCommits runs one whole writer transaction per op: begin, first
+// writes to `lines` lines, commit (reserve, install, publish, recycle).
+func benchCommits(b *testing.B, e *Engine, th *sched.Thread, lines int) {
+	commitOne := func(i int) {
+		tx := e.Begin(th)
+		for l := 0; l < lines; l++ {
+			tx.Write(benchLineAddr(l), uint64(i))
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatalf("commit: %v", err)
+		}
+	}
+	commitOne(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		commitOne(i)
+	}
+	b.StopTimer()
+}
+
+// readBystander reads the benchmark's lines and stays active, so SSI-TM's
+// commit-time writer check scans a live reader record per written line.
+func readBystander(spread int) func(tm.Txn) {
+	return func(by tm.Txn) {
+		for i := 0; i < spread; i++ {
+			_ = by.Read(benchLineAddr(i))
+		}
+	}
+}
+
+func BenchmarkTxnRead(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		e := benchEngine(false)
+		runSingle(func(th *sched.Thread) { benchReads(b, e, th, 8) })
+	})
+	// SSI-TM visible-reader tracking: every first read registers an
+	// epoch-stamped record, compacting the previous incarnation's stale
+	// records out of the line's table.
+	b.Run("conflict", func(b *testing.B) {
+		e := benchEngine(true)
+		runSingle(func(th *sched.Thread) { benchReads(b, e, th, 64) })
+	})
+}
+
+func BenchmarkTxnWrite(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		e := benchEngine(false)
+		runSingle(func(th *sched.Thread) { benchWrites(b, e, th, 8) })
+	})
+	// SSI-TM with an overlapping reader of the written lines: each
+	// commit's writer check walks the reader's records (write-only
+	// transactions recycle even under overlap — they leave no records).
+	b.Run("conflict", func(b *testing.B) {
+		e := benchEngine(true)
+		runWithBystander(e, readBystander(8), func(th *sched.Thread) {
+			benchWrites(b, e, th, 8)
+		})
+	})
+}
+
+func BenchmarkCommit(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		e := benchEngine(false)
+		runSingle(func(th *sched.Thread) { benchCommits(b, e, th, 4) })
+	})
+	b.Run("conflict", func(b *testing.B) {
+		e := benchEngine(true)
+		runWithBystander(e, readBystander(4), func(th *sched.Thread) {
+			benchCommits(b, e, th, 4)
+		})
+	})
+}
+
+// TestTxnHotPathsAllocFree asserts the transaction hot paths never
+// allocate in steady state, in every regime — a steady-state allocation
+// here would put GC pressure proportional to simulated transaction
+// traffic on every experiment.
+func TestTxnHotPathsAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full benchmarks")
+	}
+	leaves := []struct {
+		name string
+		run  func(b *testing.B)
+	}{
+		{"TxnRead/hit", func(b *testing.B) {
+			e := benchEngine(false)
+			runSingle(func(th *sched.Thread) { benchReads(b, e, th, 8) })
+		}},
+		{"TxnRead/conflict", func(b *testing.B) {
+			e := benchEngine(true)
+			runSingle(func(th *sched.Thread) { benchReads(b, e, th, 64) })
+		}},
+		{"TxnWrite/hit", func(b *testing.B) {
+			e := benchEngine(false)
+			runSingle(func(th *sched.Thread) { benchWrites(b, e, th, 8) })
+		}},
+		{"TxnWrite/conflict", func(b *testing.B) {
+			e := benchEngine(true)
+			runWithBystander(e, readBystander(8), func(th *sched.Thread) { benchWrites(b, e, th, 8) })
+		}},
+		{"Commit/hit", func(b *testing.B) {
+			e := benchEngine(false)
+			runSingle(func(th *sched.Thread) { benchCommits(b, e, th, 4) })
+		}},
+		{"Commit/conflict", func(b *testing.B) {
+			e := benchEngine(true)
+			runWithBystander(e, readBystander(4), func(th *sched.Thread) { benchCommits(b, e, th, 4) })
+		}},
+	}
+	for _, leaf := range leaves {
+		if r := testing.Benchmark(leaf.run); r.AllocsPerOp() != 0 {
+			t.Errorf("%s: %d allocs/op, want 0", leaf.name, r.AllocsPerOp())
+		}
+	}
+}

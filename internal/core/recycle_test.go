@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// TestSSIRecycledTxnSheddsSIREAD pins the hazard that kept SSI-TM off the
+// per-thread recycling path before epoch stamps existed: a committed
+// serializable reader leaves SIREAD records in the engine's reader table,
+// and those records reference the transaction object. If the object is
+// recycled while a record is still in the table (records are swept
+// lazily), a later writer of the same line must not mistake the new
+// incarnation for the old reader — the epoch stamped into the record no
+// longer matches the object's.
+func TestSSIRecycledTxnSheddsSIREAD(t *testing.T) {
+	e := ssiEngine()
+	A, B, C := addr(1), addr(2), addr(3)
+	e.NonTxWrite(A, 1)
+	e.NonTxWrite(B, 1)
+	single(t, e, func(th *sched.Thread) {
+		t1 := e.Begin(th).(*txn)
+		_ = t1.Read(A)
+		if err := t1.Commit(); err != nil {
+			t.Fatalf("t1: %v", err)
+		}
+		// Nothing is active, so the committed reader is recyclable; its
+		// SIREAD record for A is still in the reader table.
+		t2 := e.Begin(th).(*txn)
+		if t2 != t1 {
+			t.Fatalf("expected the committed SSI reader to be recycled")
+		}
+		// A concurrent writer of A walks A's reader records. The stale
+		// record points at t2's object with t1's epoch; treating it as
+		// live would mark t2 with an incoming edge it never earned.
+		w := e.Begin(th)
+		w.Write(A, 7)
+		if err := w.Commit(); err != nil {
+			t.Fatalf("w: %v", err)
+		}
+		if t2.inFlag {
+			t.Fatalf("recycled txn observed its predecessor's SIREAD mark")
+		}
+		// Give t2 a genuine outgoing edge (it reads B, a concurrent
+		// writer commits B). With the phantom incoming edge this would
+		// be a dangerous structure and t2 would wrongly abort.
+		_ = t2.Read(B)
+		w2 := e.Begin(th)
+		w2.Write(B, 9)
+		if err := w2.Commit(); err != nil {
+			t.Fatalf("w2: %v", err)
+		}
+		t2.Write(C, 1)
+		if err := t2.Commit(); err != nil {
+			t.Fatalf("recycled txn wrongly aborted: %v", err)
+		}
+	})
+}

@@ -36,5 +36,6 @@ func configFor(o tm.EngineOptions, serializable bool) Config {
 	}
 	cfg.Cache.Reference = o.ReferenceCache
 	cfg.Cache.Scratch = o.CacheScratch
+	cfg.ReferenceSets = o.ReferenceSets
 	return cfg
 }

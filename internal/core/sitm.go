@@ -10,11 +10,19 @@
 // overlapping transaction committed a write to the same line and the
 // transaction aborts. Read-write conflicts never abort a transaction, and
 // read-only transactions commit with zero overhead.
+//
+// Access tracking uses the signature-backed tables of internal/aset
+// (write sets, promoted-read sets, and epoch-stamped visible-reader
+// records), mirroring the fixed hardware set structures of real HTMs. The
+// pre-aset map-based engine is kept verbatim in slow.go as a differential
+// oracle behind Config.ReferenceSets.
 package core
 
 import (
+	"fmt"
 	"math/bits"
 
+	"repro/internal/aset"
 	"repro/internal/cache"
 	"repro/internal/clock"
 	"repro/internal/mem"
@@ -45,6 +53,11 @@ type Config struct {
 	// CommitOverhead is the fixed cycle cost of obtaining an end
 	// timestamp and initiating the commit.
 	CommitOverhead uint64
+	// ReferenceSets routes transactions through the verbatim map-based
+	// access-set implementation (slow.go), the differential oracle for
+	// the aset fast path. Results are bit-identical to the default; only
+	// simulator wall time changes.
+	ReferenceSets bool
 }
 
 // DefaultConfig mirrors the evaluated system: 4 versions with
@@ -85,15 +98,23 @@ type Engine struct {
 	txnSeq   uint64
 
 	// lastTxn recycles each thread's most recent transaction object.
-	// Only plain SI-TM recycles: under Serializable, committed
-	// transactions stay referenced from the readers table (SIREAD
-	// semantics) until pruneSSI, so their objects cannot be reused.
+	// Under Serializable, a committed transaction is recyclable only
+	// once no active transaction overlaps it (its SIREAD-style read
+	// records are then dead); recycling bumps the object's epoch, which
+	// invalidates any remaining reader records at once.
 	lastTxn map[int]*txn
 
-	// readers tracks, per line, the active SSI-TM transactions that
-	// read it (visible readers exist only under Serializable; plain
-	// SI-TM supports invisible readers, §4.2).
-	readers map[mem.Line]map[*txn]struct{}
+	// readers tracks, per line, the epoch-stamped visible-reader records
+	// of SSI-TM transactions (visible readers exist only under
+	// Serializable; plain SI-TM supports invisible readers, §4.2). A
+	// record is live while liveReader accepts it; stale records are
+	// swept out lazily by the CompactAdd on the next reader of the line.
+	readers    aset.LineMap[aset.Readers[*txn]]
+	liveReader func(*txn, uint64) bool
+
+	// slow holds the reference map-based implementation state (slow.go),
+	// nil unless cfg.ReferenceSets.
+	slow *slowState
 }
 
 // New creates an SI-TM engine.
@@ -110,8 +131,9 @@ func New(cfg Config) *Engine {
 		promoted: make(map[string]bool),
 		lastTxn:  make(map[int]*txn),
 	}
-	if cfg.Serializable {
-		e.readers = make(map[mem.Line]map[*txn]struct{})
+	e.liveReader = e.readerLive
+	if cfg.ReferenceSets {
+		e.slow = newSlowState(cfg.Serializable)
 	}
 	return e
 }
@@ -190,6 +212,46 @@ func (e *Engine) ReleaseCaches() {
 	e.shared.Release()
 }
 
+// AuditAccessSets verifies that no live access-set state survives outside
+// a running transaction: every recycled transaction object holds empty
+// sets, and every reader list compacts to nothing once no transaction is
+// active. tmtest calls it after each conformance cell. The reference
+// (map-based) path keeps the pre-aset engine's own lifecycle — maps are
+// cleared at Begin, readers pruned periodically — so it is not audited.
+func (e *Engine) AuditAccessSets() error {
+	if e.cfg.ReferenceSets {
+		return nil
+	}
+	for id, tx := range e.lastTxn {
+		if tx == nil {
+			continue
+		}
+		if !tx.finished {
+			return fmt.Errorf("core: thread %d transaction unfinished", id)
+		}
+		if n := tx.writes.Len(); n != 0 {
+			return fmt.Errorf("core: thread %d leaked %d write-set lines", id, n)
+		}
+		if n := tx.promoted.Len(); n != 0 {
+			return fmt.Errorf("core: thread %d leaked %d promoted lines", id, n)
+		}
+		if n := tx.reads.Len(); n != 0 {
+			return fmt.Errorf("core: thread %d leaked %d read-set lines", id, n)
+		}
+		if n := len(tx.installBuf); n != 0 {
+			return fmt.Errorf("core: thread %d leaked %d install records", id, n)
+		}
+	}
+	for i := 0; i < e.readers.Len(); i++ {
+		line, rs := e.readers.At(i)
+		rs.Compact(e.liveReader)
+		if n := rs.Len(); n != 0 {
+			return fmt.Errorf("core: line %d holds %d live reader records after quiescence", line, n)
+		}
+	}
+	return nil
+}
+
 // NonTxRead implements tm.Engine: non-transactional reads return the most
 // current version (§3).
 func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.mem.NonTxReadWord(a) }
@@ -197,12 +259,6 @@ func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.mem.NonTxReadWord(a) }
 // NonTxWrite implements tm.Engine: non-transactional writes modify the
 // most current version in place (§3).
 func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.mem.NonTxWriteWord(a, v) }
-
-// writeEntry buffers a transaction's stores to one cache line.
-type writeEntry struct {
-	mask  uint8
-	words [mem.WordsPerLine]uint64
-}
 
 // installRec remembers an optimistic install for rollback.
 type installRec struct {
@@ -222,33 +278,44 @@ type txn struct {
 	// noted on every access so committers know this core may hold the
 	// line (and, for versioned reads, its translation).
 	selfBit uint64
+	// epoch distinguishes incarnations of a recycled transaction object:
+	// reader records carry the epoch they were made under, so recycling
+	// invalidates all of an object's records without walking any table.
+	epoch uint64
 
-	writes     map[mem.Line]*writeEntry
-	writeOrder []mem.Line
-	// promotedLines are reads promoted into conflict detection (§5.1);
-	// they are validated like writes but create no versions.
-	// promotedOrder preserves first-promotion order so commit-time
-	// cycle charging is deterministic.
-	promotedLines map[mem.Line]struct{}
-	promotedOrder []mem.Line
+	// writes buffers the transaction's stores: line membership,
+	// first-write order, and the buffered words in one structure.
+	writes aset.WriteLog
+	// promoted are reads promoted into conflict detection (§5.1); they
+	// are validated like writes but create no versions. Iteration order
+	// is first-promotion order, so commit-time cycle charging is
+	// deterministic.
+	promoted aset.LineSet
 
 	// SSI-TM state (§5.2). The flags record rw-antidependency edges:
 	// outFlag means this transaction read a line a concurrent
 	// transaction (later) wrote (edge this -> other); inFlag means a
 	// concurrent transaction read a line this transaction wrote (edge
 	// other -> this). A transaction with both — a dangerous structure —
-	// aborts. Read entries persist after commit (like SIREAD locks)
+	// aborts. Reader records persist after commit (like SIREAD locks)
 	// until no overlapping transaction remains, so committed pivots are
-	// still detected.
-	reads   map[mem.Line]struct{}
-	inFlag  bool
-	outFlag bool
-	doomed  bool
+	// still detected; reads dedups this transaction's own registrations.
+	reads aset.LineSet
+	// hadReads records that this incarnation registered at least one
+	// visible-reader record; canRecycle consults it after reads has been
+	// Reset.
+	hadReads bool
+	inFlag   bool
+	outFlag  bool
+	doomed   bool
 
 	committed bool
 	end       clock.Timestamp // end timestamp once committed
 
 	finished bool
+
+	// installBuf is the reused commit-time install record buffer.
+	installBuf []installRec
 }
 
 var _ tm.Txn = (*txn)(nil)
@@ -257,33 +324,31 @@ var _ tm.Txn = (*txn)(nil)
 // the software rendering of the paper's starter stall (§4.2) — then takes
 // a unique start timestamp, which creates the logical snapshot.
 func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	if e.cfg.ReferenceSets {
+		return e.beginSlow(t)
+	}
 	for e.clk.MustStall() {
 		e.clk.Stalls++
 		e.stats.Stalls++
 		t.Stall()
 	}
 	e.txnSeq++
-	if e.cfg.Serializable && e.txnSeq%64 == 0 {
-		e.pruneSSI()
-	}
 	var tx *txn
-	if old := e.lastTxn[t.ID()]; old != nil && old.finished && !e.cfg.Serializable {
-		// clear keeps the maps' grown capacity, so steady-state
-		// transactions insert without rehashing.
-		clear(old.writes)
-		clear(old.promotedLines)
-		*old = txn{
-			e:             e,
-			t:             t,
-			h:             old.h,
-			id:            e.txnSeq,
-			start:         e.clk.Begin(),
-			selfBit:       old.selfBit,
-			writes:        old.writes,
-			writeOrder:    old.writeOrder[:0],
-			promotedLines: old.promotedLines,
-			promotedOrder: old.promotedOrder[:0],
-		}
+	if old := e.lastTxn[t.ID()]; old != nil && old.finished && e.canRecycle(old) {
+		// The object's sets were Reset when it finished, keeping their
+		// grown capacity; bumping the epoch retires any reader records
+		// the previous incarnation left behind. The thread object can
+		// differ across scheduler runs even for the same thread ID, so
+		// it is rebound.
+		old.t = t
+		old.id = e.txnSeq
+		old.start = e.clk.Begin()
+		old.site = ""
+		old.epoch++
+		old.hadReads = false
+		old.inFlag, old.outFlag, old.doomed = false, false, false
+		old.committed, old.finished = false, false
+		old.end = 0
 		tx = old
 	} else {
 		tx = &txn{
@@ -293,19 +358,48 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 			id:      e.txnSeq,
 			start:   e.clk.Begin(),
 			selfBit: cache.CoreBit(t.ID()),
-			writes:  make(map[mem.Line]*writeEntry),
+			epoch:   1,
 		}
 		e.lastTxn[t.ID()] = tx
 	}
 	e.active.Register(tx.start)
-	if e.cfg.Serializable {
-		tx.reads = make(map[mem.Line]struct{})
-	}
 	if e.tracer != nil {
 		e.tracer.TxnBegin(tx.id, t.ID())
 	}
 	t.Tick(2) // atomic increment of the global timestamp counter
 	return tx
+}
+
+// canRecycle reports whether old's object may be reused for a new
+// transaction. Plain SI-TM always recycles; under Serializable a
+// committed transaction's reader records must stay valid (SIREAD
+// semantics) while any active transaction overlaps it, so its object is
+// reusable only once none does — the same condition under which the
+// records are dead for every future writer check. A committed
+// transaction that registered no reader records (write-only) left no
+// epoch-stamped state behind and is always reusable.
+func (e *Engine) canRecycle(old *txn) bool {
+	if !e.cfg.Serializable || !old.committed || !old.hadReads {
+		return true
+	}
+	oldest, any := e.active.OldestActive()
+	return !any || old.end <= oldest
+}
+
+// readerLive is the liveness predicate of the visible-reader records: a
+// record is live while its object has not been recycled and the
+// transaction is either still active or committed with a possible
+// overlapper. Records readerLive rejects are exactly those the writer
+// check would skip, so sweeping them is invisible to the simulation.
+func (e *Engine) readerLive(r *txn, epoch uint64) bool {
+	if r.epoch != epoch || (r.finished && !r.committed) {
+		return false
+	}
+	if !r.finished {
+		return true
+	}
+	oldest, any := e.active.OldestActive()
+	return any && r.end > oldest
 }
 
 // Site implements tm.Txn.
@@ -341,10 +435,8 @@ func (x *txn) read(a mem.Addr) uint64 {
 	if x.e.cfg.Serializable {
 		x.trackRead(line)
 	}
-	if len(x.writes) != 0 {
-		if w, ok := x.writes[line]; ok && w.mask&(1<<mem.WordOf(a)) != 0 {
-			return w.words[mem.WordOf(a)]
-		}
+	if v, ok := x.writes.Load(a); ok {
+		return v
 	}
 	v, ok := x.e.mem.ReadWord(a, x.start)
 	if !ok {
@@ -358,14 +450,7 @@ func (x *txn) read(a mem.Addr) uint64 {
 // ReadPromoted implements tm.Txn: the read participates in commit-time
 // conflict detection like a write, but creates no data version (§5.1).
 func (x *txn) ReadPromoted(a mem.Addr) uint64 {
-	if x.promotedLines == nil {
-		x.promotedLines = make(map[mem.Line]struct{})
-	}
-	line := mem.LineOf(a)
-	if _, ok := x.promotedLines[line]; !ok {
-		x.promotedLines[line] = struct{}{}
-		x.promotedOrder = append(x.promotedOrder, line)
-	}
+	x.promoted.Add(mem.LineOf(a))
 	return x.read(a)
 }
 
@@ -379,14 +464,7 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
 	}
-	w, ok := x.writes[line]
-	if !ok {
-		w = &writeEntry{}
-		x.writes[line] = w
-		x.writeOrder = append(x.writeOrder, line)
-	}
-	w.mask |= 1 << mem.WordOf(a)
-	w.words[mem.WordOf(a)] = v
+	x.writes.Store(a, v)
 }
 
 // trackRead registers this transaction as a visible reader of line for
@@ -394,14 +472,10 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 // transaction has already overwritten records an outgoing edge.
 func (x *txn) trackRead(line mem.Line) {
 	x.checkDoom(line)
-	if _, ok := x.reads[line]; !ok {
-		x.reads[line] = struct{}{}
-		rs := x.e.readers[line]
-		if rs == nil {
-			rs = make(map[*txn]struct{})
-			x.e.readers[line] = rs
-		}
-		rs[x] = struct{}{}
+	if x.reads.Add(line) {
+		x.hadReads = true
+		rs, _ := x.e.readers.Put(line)
+		rs.CompactAdd(x, x.epoch, x.e.liveReader)
 	}
 	if x.e.mem.NewestTS(line) > x.start {
 		x.outFlag = true
@@ -418,40 +492,27 @@ func (x *txn) checkDoom(line mem.Line) {
 	}
 }
 
-// release drops all engine-side state of the transaction. Aborted
-// transactions leave the readers table immediately; committed SSI-TM
-// transactions keep their read entries (like SIREAD locks) until pruneSSI
-// finds no overlapping transaction.
+// resetAccessSets empties the transaction's sets in O(touched), keeping
+// capacity for the next incarnation. Reader records are not touched: they
+// live in the engine table and expire via epoch/liveness instead.
+func (x *txn) resetAccessSets() {
+	x.writes.Reset()
+	x.promoted.Reset()
+	x.reads.Reset()
+	for i := range x.installBuf {
+		x.installBuf[i] = installRec{}
+	}
+	x.installBuf = x.installBuf[:0]
+}
+
+// release drops all engine-side state of the transaction. The local sets
+// are reset immediately; a committed SSI-TM transaction's reader records
+// stay live (like SIREAD locks) until no overlapping transaction remains,
+// at which point readerLive retires them lazily.
 func (x *txn) release() {
 	x.finished = true
 	x.e.active.Deregister(x.start)
-	if x.e.cfg.Serializable && !x.committed {
-		x.dropReads()
-	}
-}
-
-func (x *txn) dropReads() {
-	for line := range x.reads {
-		delete(x.e.readers[line], x)
-		if len(x.e.readers[line]) == 0 {
-			delete(x.e.readers, line)
-		}
-	}
-}
-
-// pruneSSI removes committed readers that no active transaction overlaps.
-func (e *Engine) pruneSSI() {
-	oldest, any := e.active.OldestActive()
-	for line, rs := range e.readers {
-		for r := range rs {
-			if r.committed && (!any || r.end <= oldest) {
-				delete(rs, r)
-			}
-		}
-		if len(rs) == 0 {
-			delete(e.readers, line)
-		}
-	}
+	x.resetAccessSets()
 }
 
 // abortInternal counts and signals an engine-initiated abort from inside
@@ -494,9 +555,9 @@ func (x *txn) Commit() error {
 	if x.e.cfg.Serializable && (x.doomed || (x.inFlag && x.outFlag)) {
 		return x.commitAbort(0, tm.AbortSkew)
 	}
-	if len(x.writes) == 0 && len(x.promotedLines) == 0 {
+	if x.writes.Len() == 0 && x.promoted.Len() == 0 {
 		// Read-only: no end timestamp, no checks (§4.2). Under
-		// SSI-TM the read entries persist so later writers still see
+		// SSI-TM the reader records persist so later writers still see
 		// the antidependencies this reader induced.
 		x.committed = true
 		x.end = x.e.clk.Now()
@@ -525,8 +586,8 @@ func (x *txn) Commit() error {
 	// the installs below, which guarantees that of two transactions
 	// whose writes invalidate each other's promoted reads, at least the
 	// one that finishes validating last observes the other's versions.
-	for _, line := range x.promotedOrder {
-		if _, mine := x.writes[line]; mine {
+	for _, line := range x.promoted.Lines() {
+		if x.writes.Has(line) {
 			continue // validated atomically when the write installs
 		}
 		// Re-note: another commit may have drained this core's bit, and
@@ -534,30 +595,29 @@ func (x *txn) Commit() error {
 		x.e.presence.Note(line, x.selfBit)
 		x.t.Tick(x.h.Access(line))
 		if x.e.mem.NewestTS(line) > x.start {
-			return x.commitAbortReserved(end, nil, line, tm.AbortSkew)
+			return x.commitAbortReserved(end, line, tm.AbortSkew)
 		}
 	}
 
-	var installed []installRec
-	for _, line := range x.writeOrder {
-		w := x.writes[line]
+	for i := 0; i < x.writes.Len(); i++ {
+		line, w := x.writes.At(i)
 		x.e.presence.Note(line, x.selfBit)
 		x.t.Tick(x.h.Access(line)) // write the line back to the MVM
 		base, ok := x.e.mem.ReadLine(line, x.start)
 		if !ok {
-			return x.commitAbortReserved(end, installed, line, tm.AbortCapacity)
+			return x.commitAbortReserved(end, line, tm.AbortCapacity)
 		}
-		mask := w.mask
+		mask := w.Mask
 		if x.e.cfg.WordGranularity {
 			// §4.2 optimisation: drop silent stores (words written
 			// back with their snapshot value) from the write mask;
 			// they carry no effect and must not clobber concurrent
 			// writers' words.
-			mask = changedMask(w, &base)
+			mask = changedMaskWords(w.Mask, &w.Words, &base)
 		}
 		if x.e.mem.NewestTS(line) > x.start {
 			if !x.e.cfg.WordGranularity || x.trueConflict(line, mask, &base) {
-				return x.commitAbortReserved(end, installed, line, tm.AbortWriteWrite)
+				return x.commitAbortReserved(end, line, tm.AbortWriteWrite)
 			}
 		}
 		if x.e.cfg.WordGranularity {
@@ -569,11 +629,11 @@ func (x *txn) Commit() error {
 			// transaction's words.
 			base = x.e.mem.NewestLine(line)
 		}
-		undo, err := x.e.mem.Install(line, end, base, mask, &w.words)
+		undo, err := x.e.mem.Install(line, end, base, mask, &w.Words)
 		if err != nil {
-			return x.commitAbortReserved(end, installed, line, tm.AbortCapacity)
+			return x.commitAbortReserved(end, line, tm.AbortCapacity)
 		}
-		installed = append(installed, installRec{line: line, undo: undo})
+		x.installBuf = append(x.installBuf, installRec{line: line, undo: undo})
 	}
 
 	// Revalidate promoted reads now that our versions are installed:
@@ -582,12 +642,12 @@ func (x *txn) Commit() error {
 	// this transaction itself wrote are excluded — their newest version
 	// is our own install, and the write-write check already validated
 	// them against the snapshot without an intervening yield.
-	for _, line := range x.promotedOrder {
-		if _, mine := x.writes[line]; mine {
+	for _, line := range x.promoted.Lines() {
+		if x.writes.Has(line) {
 			continue
 		}
 		if x.e.mem.NewestTS(line) > x.start {
-			return x.commitAbortReserved(end, installed, line, tm.AbortSkew)
+			return x.commitAbortReserved(end, line, tm.AbortSkew)
 		}
 	}
 
@@ -595,7 +655,7 @@ func (x *txn) Commit() error {
 	// creates rw antidependencies reader->writer; set the flags and
 	// abort any reader that becomes dangerous (§5.2).
 	if x.e.cfg.Serializable {
-		if err := x.ssiWriterCheck(end, installed); err != nil {
+		if err := x.ssiWriterCheck(end); err != nil {
 			return err
 		}
 	}
@@ -611,7 +671,7 @@ func (x *txn) Commit() error {
 	// when another core exists, matching the per-other-core fused
 	// invalidation this replaces (a solo committer never invalidated
 	// the partition, and partition residency is observable latency).
-	for _, line := range x.writeOrder {
+	for _, line := range x.writes.Lines() {
 		for others := x.e.presence.Drain(line, x.selfBit); others != 0; {
 			id := bits.TrailingZeros64(others)
 			others &^= 1 << uint(id)
@@ -634,6 +694,7 @@ func (x *txn) Commit() error {
 	x.finished = true
 	x.committed = true
 	x.end = end
+	x.resetAccessSets()
 	x.e.clk.CompleteEnd(end)
 	x.e.stats.Commits++
 	if x.e.tracer != nil {
@@ -644,14 +705,14 @@ func (x *txn) Commit() error {
 	return nil
 }
 
-// changedMask returns the subset of the write mask whose words actually
-// differ from the transaction's snapshot. Words written back unmodified
-// are silent stores (Lepak/Waliullah): executing or eliding them leaves
-// the transaction's observable effect identical.
-func changedMask(w *writeEntry, snap *[mem.WordsPerLine]uint64) uint8 {
+// changedMaskWords returns the subset of the write mask whose words
+// actually differ from the transaction's snapshot. Words written back
+// unmodified are silent stores (Lepak/Waliullah): executing or eliding
+// them leaves the transaction's observable effect identical.
+func changedMaskWords(mask uint8, words, snap *[mem.WordsPerLine]uint64) uint8 {
 	var m uint8
 	for i := 0; i < mem.WordsPerLine; i++ {
-		if w.mask&(1<<i) != 0 && w.words[i] != snap[i] {
+		if mask&(1<<i) != 0 && words[i] != snap[i] {
 			m |= 1 << i
 		}
 	}
@@ -682,15 +743,23 @@ func (x *txn) trueConflict(line mem.Line, mask uint8, snap *[mem.WordsPerLine]ui
 // reader that now has both flags is doomed; a committed concurrent reader
 // that already had an incoming edge is a pivot this transaction cannot
 // serialize around, so this transaction aborts.
-func (x *txn) ssiWriterCheck(end clock.Timestamp, installed []installRec) error {
+func (x *txn) ssiWriterCheck(end clock.Timestamp) error {
 	// Flags are applied to every concurrent reader of every written
 	// line before the dangerous-structure verdict, so the outcome does
-	// not depend on map iteration order.
+	// not depend on record order. Stale records — recycled objects,
+	// aborted readers, committed readers no transaction overlaps — are
+	// skipped by the same conditions that would remove them, so lazy
+	// sweeping never changes a verdict.
 	abort := false
 	var abortLine mem.Line
-	for _, line := range x.writeOrder {
-		for r := range x.e.readers[line] {
-			if r == x {
+	for _, line := range x.writes.Lines() {
+		rs, ok := x.e.readers.Get(line)
+		if !ok {
+			continue
+		}
+		for _, ent := range rs.Entries() {
+			r := ent.Tx
+			if r == x || r.epoch != ent.Epoch {
 				continue
 			}
 			if r.committed {
@@ -718,7 +787,7 @@ func (x *txn) ssiWriterCheck(end clock.Timestamp, installed []installRec) error 
 		}
 	}
 	if abort || (x.inFlag && x.outFlag) {
-		return x.commitAbortReserved(end, installed, abortLine, tm.AbortSkew)
+		return x.commitAbortReserved(end, abortLine, tm.AbortSkew)
 	}
 	return nil
 }
@@ -726,11 +795,11 @@ func (x *txn) ssiWriterCheck(end clock.Timestamp, installed []installRec) error 
 // commitAbortReserved rolls back optimistic installs, retires the end
 // reservation, and returns the abort error. The transaction iterates over
 // its write set and removes all written lines from the MVM (§4.2).
-func (x *txn) commitAbortReserved(end clock.Timestamp, installed []installRec, line mem.Line, kind tm.AbortKind) error {
-	for i := len(installed) - 1; i >= 0; i-- {
-		x.e.presence.Note(installed[i].line, x.selfBit)
-		x.t.Tick(x.h.Access(installed[i].line))
-		x.e.mem.Revert(installed[i].line, end, installed[i].undo)
+func (x *txn) commitAbortReserved(end clock.Timestamp, line mem.Line, kind tm.AbortKind) error {
+	for i := len(x.installBuf) - 1; i >= 0; i-- {
+		x.e.presence.Note(x.installBuf[i].line, x.selfBit)
+		x.t.Tick(x.h.Access(x.installBuf[i].line))
+		x.e.mem.Revert(x.installBuf[i].line, end, x.installBuf[i].undo)
 	}
 	x.e.clk.CompleteEnd(end)
 	x.finishAbort(kind)
@@ -747,9 +816,7 @@ func (x *txn) commitAbort(line mem.Line, kind tm.AbortKind) error {
 
 func (x *txn) finishAbort(kind tm.AbortKind) {
 	x.finished = true
-	if x.e.cfg.Serializable {
-		x.dropReads()
-	}
+	x.resetAccessSets()
 	x.e.stats.Count(kind)
 	if x.e.tracer != nil {
 		x.e.tracer.TxnAbort(x.id)

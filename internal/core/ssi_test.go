@@ -150,9 +150,8 @@ func TestSSIPrunesCommittedReaders(t *testing.T) {
 			}
 		}
 	})
-	e.pruneSSI()
-	if n := len(e.readers); n != 0 {
-		t.Fatalf("readers table holds %d lines after quiescence, want 0", n)
+	if err := e.AuditAccessSets(); err != nil {
+		t.Fatalf("readers table not empty after quiescence: %v", err)
 	}
 }
 

@@ -121,6 +121,11 @@ type Options struct {
 	// path; the differential tests use it to pin byte-identical figure
 	// output.
 	refCache bool
+	// refSets runs every cell with the reference map-based access-set
+	// implementation (each engine's slow.go) instead of the
+	// signature-backed internal/aset fast path; the differential tests
+	// use it to pin byte-identical figure output.
+	refSets bool
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -144,6 +149,7 @@ func (o Options) engineOptions() tm.EngineOptions {
 		NoCoalescing:      o.NoCoalescing,
 		NoXlate:           o.NoXlate,
 		ReferenceCache:    o.refCache,
+		ReferenceSets:     o.refSets,
 	}
 }
 

@@ -1,0 +1,27 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFiguresByteIdenticalFastVsSlowSets is the acceptance gate for the
+// signature-backed access tracking (internal/aset) at the report level:
+// the Figure 7 and Figure 8 tables must be byte-identical whether the
+// cells track transactional read/write sets with the aset fast path or
+// the verbatim map-based reference implementation (each engine's
+// slow.go). The per-structure property tests live in internal/aset and
+// the engine-level sweep in internal/tmtest; this one proves the property
+// survives engines, workloads, seed averaging and table rendering.
+func TestFiguresByteIdenticalFastVsSlowSets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full figure sweeps")
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"List"}}
+	fast := figureBytes(t, o)
+	o.refSets = true
+	slow := figureBytes(t, o)
+	if !bytes.Equal(fast, slow) {
+		t.Fatalf("figure output diverges between access-set implementations:\n--- fast ---\n%s\n--- slow ---\n%s", fast, slow)
+	}
+}

@@ -14,6 +14,7 @@ import (
 // (internal/exp) and the CLIs live outside the simulated world and may
 // use wall clocks and goroutines freely.
 var SimPackagePaths = map[string]bool{
+	"repro/internal/aset":   true,
 	"repro/internal/sched":  true,
 	"repro/internal/core":   true,
 	"repro/internal/twopl":  true,

@@ -7,21 +7,31 @@ import (
 	"strings"
 )
 
-// EngineLint enforces the PR 1 construction discipline: tm.Engine
-// implementations are built through the engine registry
+// EngineLint enforces two engine-package disciplines. Construction
+// (PR 1): tm.Engine implementations are built through the engine registry
 // (tm.NewEngine / self-registered factories), never by writing a struct
 // literal of an engine type in consumer code. Literals are allowed only
 // inside the engine's defining package (where its New constructor lives)
-// and in register.go files (the registration glue).
+// and in register.go files (the registration glue). Access tracking
+// (PR 5): inside packages that define an engine, per-transaction
+// read/write sets are the signature-backed tables of internal/aset, not
+// mem.Line-keyed Go maps; map-based tracking is allowed only in slow.go,
+// the verbatim reference oracle behind EngineOptions.ReferenceSets.
 var EngineLint = &Analyzer{
 	Name: "enginelint",
-	Doc: `engines must be constructed through the tm registry
+	Doc: `engines must be constructed through the tm registry and track accesses with internal/aset
 
 A direct struct literal of an engine type bypasses the registered
 factory: it skips option mapping, produces engines the experiment runner
 cannot name, and couples consumers to engine internals. Construct
 engines with tm.NewEngine(name, opts); inside an engine package, use its
-New constructor.`,
+New constructor.
+
+A mem.Line-keyed map in an engine package reintroduces the map-backed
+access tracking the aset fast path replaced: it allocates per
+transaction, hashes per access, and resets in O(capacity). Use
+aset.LineSet / aset.LineMap / aset.WriteLog; the only map-based sets
+allowed are in slow.go, the unchanged reference oracle.`,
 	Run: runEngineLint,
 }
 
@@ -29,6 +39,9 @@ func runEngineLint(pass *Pass) error {
 	iface := findEngineInterface(pass.Pkg)
 	if iface == nil {
 		return nil // package cannot see tm.Engine, so no engine types either
+	}
+	if packageDefinesEngine(pass.Pkg, iface) {
+		checkLineMaps(pass)
 	}
 	for _, f := range pass.Files {
 		allowed := filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "register.go"
@@ -63,6 +76,61 @@ func runEngineLint(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// packageDefinesEngine reports whether the package declares a type
+// implementing tm.Engine — the packages whose hot paths the access-set
+// rule guards.
+func packageDefinesEngine(pkg *types.Package, iface *types.Interface) bool {
+	for _, name := range pkg.Scope().Names() {
+		obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok || obj.IsAlias() {
+			continue
+		}
+		t := obj.Type()
+		if _, isStruct := t.Underlying().(*types.Struct); !isStruct {
+			continue
+		}
+		if types.Implements(types.NewPointer(t), iface) || types.Implements(t, iface) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLineMaps flags mem.Line-keyed map types anywhere outside the
+// reference oracle (slow.go) and tests: engine access sets must use
+// internal/aset.
+func checkLineMaps(pass *Pass) {
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		if base == "slow.go" || strings.HasSuffix(base, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			mt, ok := n.(*ast.MapType)
+			if !ok {
+				return true
+			}
+			key := pass.Info.TypeOf(mt.Key)
+			if key == nil || !isMemLine(key) {
+				return true
+			}
+			pass.Reportf(mt.Pos(), "mem.Line-keyed map in engine package: track access sets with internal/aset (LineSet/LineMap/WriteLog); map-based tracking is allowed only in slow.go, the reference oracle")
+			return true
+		})
+	}
+}
+
+// isMemLine matches the mem.Line address type (and testdata stand-ins in
+// a package named mem).
+func isMemLine(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Name() != "Line" {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "repro/internal/mem" || path == "mem" || strings.HasSuffix(path, "/mem")
 }
 
 // findEngineInterface locates the tm.Engine interface among the package's

@@ -13,3 +13,10 @@ import (
 func TestEngineLint(t *testing.T) {
 	analysistest.RunTest(t, analysistest.Testdata(), lint.EngineLint, "engineuse", "engines")
 }
+
+// TestEngineLintAccessSets checks the access-set rule: mem.Line-keyed
+// maps are flagged inside engine-defining packages, except in slow.go
+// (the reference oracle); thread-ID- and string-keyed maps pass.
+func TestEngineLintAccessSets(t *testing.T) {
+	analysistest.RunTest(t, analysistest.Testdata(), lint.EngineLint, "enginesets")
+}

@@ -1,0 +1,17 @@
+package enginesets
+
+import "mem"
+
+// slowTxn is the reference oracle: map-based access sets are allowed in
+// slow.go, whose value is being the unchanged pre-aset original.
+type slowTxn struct {
+	readSet  map[mem.Line]struct{}
+	writeLog map[mem.Addr]uint64
+}
+
+func (e *Engine) beginSlow() *slowTxn {
+	return &slowTxn{
+		readSet:  make(map[mem.Line]struct{}),
+		writeLog: make(map[mem.Addr]uint64),
+	}
+}

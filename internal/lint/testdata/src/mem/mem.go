@@ -1,0 +1,10 @@
+// Package mem is a lint fixture standing in for repro/internal/mem: the
+// enginelint access-set rule recognises the Line type by its name in a
+// package whose import path ends in "mem".
+package mem
+
+// Line is a cache-line number.
+type Line uint64
+
+// Addr is a byte address.
+type Addr uint64

@@ -14,11 +14,20 @@
 // (upper bound clamps), active transactions that wrote any of them must
 // serialize after it (lower bound raises). A transaction whose interval
 // empties can no longer be ordered and aborts.
+//
+// Access tracking uses the signature-backed tables of internal/aset: the
+// commit broadcast probes other transactions' read/write sets with a
+// one-word signature AND in the common miss case, mirroring the hardware
+// signatures SONTM itself assumes. The pre-aset map-based engine is kept
+// verbatim in slow.go as a differential oracle behind
+// Config.ReferenceSets.
 package sontm
 
 import (
+	"fmt"
 	"math/bits"
 
+	"repro/internal/aset"
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sched"
@@ -45,6 +54,11 @@ type Config struct {
 	HistoryCheckCost uint64
 	// CommitOverhead is the fixed commit setup cost.
 	CommitOverhead uint64
+	// ReferenceSets routes transactions through the verbatim map-based
+	// access-set implementation (slow.go), the differential oracle for
+	// the aset fast path. Results are bit-identical to the default; only
+	// simulator wall time changes.
+	ReferenceSets bool
 }
 
 // DefaultConfig returns the evaluated configuration.
@@ -95,20 +109,30 @@ type Engine struct {
 	txnSeq uint64
 
 	// lastTxn recycles each thread's most recent transaction object;
-	// cleanup removes a finished transaction from active, so the object
-	// and its grown set maps can be reused without rehash churn.
+	// cleanup removes a finished transaction from active and resets its
+	// sets, so the object and its grown tables can be reused without
+	// rehash churn.
 	lastTxn map[int]*txn
+
+	// Reference map-based implementation state (slow.go), used only when
+	// cfg.ReferenceSets.
+	activeSlow  []*slowTxn
+	lastTxnSlow map[int]*slowTxn
 
 	commitBusy bool
 }
 
 // New creates a SONTM engine.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		shared:  cache.NewShared(cfg.Cache),
 		lastTxn: make(map[int]*txn),
 	}
+	if cfg.ReferenceSets {
+		e.lastTxnSlow = make(map[int]*slowTxn)
+	}
+	return e
 }
 
 // Name implements tm.Engine.
@@ -175,8 +199,38 @@ func (e *Engine) CacheStats() cache.Stats {
 	return s
 }
 
+// AuditAccessSets verifies that no live access-set state survives outside
+// a running transaction: the active list is empty and every recycled
+// transaction object holds empty sets. tmtest calls it after each
+// conformance cell. The reference (map-based) path keeps the pre-aset
+// engine's own lifecycle — maps are cleared at Begin — so it is not
+// audited.
+func (e *Engine) AuditAccessSets() error {
+	if e.cfg.ReferenceSets {
+		return nil
+	}
+	if n := len(e.active); n != 0 {
+		return fmt.Errorf("sontm: %d transactions still active after quiescence", n)
+	}
+	for id, tx := range e.lastTxn {
+		if tx == nil {
+			continue
+		}
+		if !tx.finished {
+			return fmt.Errorf("sontm: thread %d transaction unfinished", id)
+		}
+		if n := tx.readSet.Len(); n != 0 {
+			return fmt.Errorf("sontm: thread %d leaked %d read-set lines", id, n)
+		}
+		if n := tx.writes.Len(); n != 0 {
+			return fmt.Errorf("sontm: thread %d leaked %d write-set lines", id, n)
+		}
+	}
+	return nil
+}
+
 // noLine is the lastRead sentinel: no real line has this number, so a
-// fresh transaction's first read always takes the map path.
+// fresh transaction's first read always takes the set path.
 const noLine = ^mem.Line(0)
 
 // txn is one SONTM transaction attempt.
@@ -188,17 +242,17 @@ type txn struct {
 
 	lo, hi uint64 // SON interval, inclusive
 
-	readSet map[mem.Line]struct{}
+	readSet aset.LineSet
 	// lastRead memoises the line of the previous Read: the readSet
 	// insert is idempotent and entries are never removed mid-transaction
 	// (commit broadcasts only probe membership), so a repeat read of the
-	// same line skips the map write.
+	// same line skips the set probe.
 	lastRead mem.Line
-	writeSet map[mem.Line]struct{}
-	writeLog map[mem.Addr]uint64
-	// writeOrder preserves first-write order so commit-time cache
-	// charging is deterministic (map iteration is not).
-	writeOrder []mem.Line
+	// writes buffers the speculative stores: line membership,
+	// first-write order and the logged words in one structure. Commit
+	// broadcasts probe it with a one-word signature AND in the common
+	// miss case.
+	writes aset.WriteLog
 
 	// selfBit is this thread's presence bit (cache.CoreBit of its ID),
 	// noted on every access so committers know this core may hold the
@@ -218,34 +272,29 @@ var _ tm.Txn = (*txn)(nil)
 
 // Begin implements tm.Engine.
 func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	if e.cfg.ReferenceSets {
+		return e.beginSlow(t)
+	}
 	e.txnSeq++
 	var tx *txn
 	if old := e.lastTxn[t.ID()]; old != nil && old.finished {
-		// clear keeps the maps' grown capacity, so steady-state
-		// transactions insert without rehashing.
-		clear(old.readSet)
-		clear(old.writeSet)
-		clear(old.writeLog)
-		*old = txn{
-			e: e, t: t, h: old.h, id: e.txnSeq,
-			lo: 1, hi: maxSON,
-			readSet:    old.readSet,
-			lastRead:   noLine,
-			selfBit:    old.selfBit,
-			writeSet:   old.writeSet,
-			writeLog:   old.writeLog,
-			writeOrder: old.writeOrder[:0],
-		}
+		// The object's sets were Reset when it finished, keeping their
+		// grown capacity. The thread object can differ across scheduler
+		// runs even for the same thread ID, so it is rebound.
+		old.t = t
+		old.id = e.txnSeq
+		old.lo, old.hi = 1, maxSON
+		old.lastRead = noLine
+		old.doomed, old.doomLine = false, 0
+		old.finished = false
+		old.site = ""
 		tx = old
 	} else {
 		tx = &txn{
 			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
 			lo: 1, hi: maxSON,
-			readSet:  make(map[mem.Line]struct{}),
 			lastRead: noLine,
 			selfBit:  cache.CoreBit(t.ID()),
-			writeSet: make(map[mem.Line]struct{}),
-			writeLog: make(map[mem.Addr]uint64),
 		}
 		e.lastTxn[t.ID()] = tx
 	}
@@ -318,15 +367,13 @@ func (x *txn) Read(a mem.Addr) uint64 {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
 	if line != x.lastRead {
-		x.readSet[line] = struct{}{}
+		x.readSet.Add(line)
 		x.lastRead = line
 	}
 	x.raiseLo(x.e.writeNums.Load(uint64(line))+1, line)
 	x.checkDoom()
-	if len(x.writeLog) != 0 {
-		if v, ok := x.writeLog[a]; ok {
-			return v
-		}
+	if v, ok := x.writes.Load(a); ok {
+		return v
 	}
 	return x.e.words.Load(mem.WordIndex(a))
 }
@@ -345,18 +392,13 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
 	}
-	// One map operation instead of probe-then-insert: the length delta
-	// reveals whether the assignment was a first write.
-	n := len(x.writeSet)
-	x.writeSet[line] = struct{}{}
-	if len(x.writeSet) != n {
-		x.writeOrder = append(x.writeOrder, line)
-	}
-	x.writeLog[a] = v
+	x.writes.Store(a, v)
 	x.raiseLo(x.e.writeNums.Load(uint64(line))+1, line)
 	x.checkDoom()
 }
 
+// cleanup removes the transaction from the active list and resets its
+// sets in O(touched), keeping capacity for the next incarnation.
 func (x *txn) cleanup() {
 	a := x.e.active
 	last := len(a) - 1
@@ -366,6 +408,8 @@ func (x *txn) cleanup() {
 	a[last] = nil
 	x.e.active = a[:last]
 	x.finished = true
+	x.readSet.Reset()
+	x.writes.Reset()
 }
 
 // Abort implements tm.Txn.
@@ -392,11 +436,11 @@ func (x *txn) Commit() error {
 	if x.doomed {
 		return x.abortDoomed()
 	}
-	if len(x.writeLog) == 0 {
+	if x.writes.Len() == 0 {
 		// Readers commit with their interval; record their reads so
 		// future writers serialize after them.
 		son := x.lo
-		for line := range x.readSet {
+		for _, line := range x.readSet.Lines() {
 			if rn := x.e.readNums.Slot(uint64(line)); son > *rn {
 				*rn = son
 			}
@@ -421,7 +465,7 @@ func (x *txn) Commit() error {
 	// Serialize after every committed reader of the lines we write
 	// (the read-history check); the scan cost grows with the number of
 	// retained readsets, which tracks concurrency.
-	for line := range x.writeSet {
+	for _, line := range x.writes.Lines() {
 		cost += x.e.cfg.BroadcastCost + x.e.cfg.HistoryCheckCost*uint64(len(x.e.active))
 		x.raiseLo(x.e.readNums.Load(uint64(line))+1, line)
 	}
@@ -435,7 +479,7 @@ func (x *txn) Commit() error {
 
 	// Broadcast the write set: concurrent readers of these lines must
 	// serialize before us; concurrent writers after us.
-	for _, line := range x.writeOrder {
+	for _, line := range x.writes.Lines() {
 		for _, other := range x.e.active {
 			if other == x || other.finished {
 				continue
@@ -445,10 +489,10 @@ func (x *txn) Commit() error {
 			// us. A read-modify-write needs both and its
 			// interval empties — exactly the Kmeans pattern the
 			// paper notes CS cannot help with.
-			if _, ok := other.writeSet[line]; ok {
+			if other.writes.Has(line) {
 				other.raiseLo(son+1, line)
 			}
-			if _, ok := other.readSet[line]; ok {
+			if other.readSet.Contains(line) {
 				other.clampHi(son-1, line)
 			}
 		}
@@ -456,10 +500,15 @@ func (x *txn) Commit() error {
 
 	// Write back and tag committed writes with the SON in the global
 	// write-numbers hashtable.
-	for a, v := range x.writeLog {
-		x.e.words.Store(mem.WordIndex(a), v)
+	for i := 0; i < x.writes.Len(); i++ {
+		line, w := x.writes.At(i)
+		for word := 0; word < mem.WordsPerLine; word++ {
+			if w.Mask&(1<<word) != 0 {
+				x.e.words.Store(mem.WordIndex(mem.WordAddr(line, word)), w.Words[word])
+			}
+		}
 	}
-	for _, line := range x.writeOrder {
+	for _, line := range x.writes.Lines() {
 		// Re-note: another commit may have drained this core's bit, and
 		// the Access below re-fills the line.
 		x.e.presence.Note(line, x.selfBit)
@@ -481,7 +530,7 @@ func (x *txn) Commit() error {
 			}
 		}
 	}
-	for line := range x.readSet {
+	for _, line := range x.readSet.Lines() {
 		if rn := x.e.readNums.Slot(uint64(line)); son > *rn {
 			*rn = son
 		}

@@ -31,6 +31,12 @@ type EngineOptions struct {
 	// are bit-identical to the default; only simulator wall time
 	// changes.
 	ReferenceCache bool
+	// ReferenceSets routes every transaction through the verbatim
+	// map-based access-set implementation (each engine's slow.go), the
+	// differential oracle for the signature-backed internal/aset fast
+	// path. Results are bit-identical to the default; only simulator
+	// wall time changes.
+	ReferenceSets bool
 	// CacheScratch, when non-nil, recycles simulated cache arrays
 	// across the engines built with these options. It never changes
 	// simulated behaviour; callers own the scratch's single-threaded

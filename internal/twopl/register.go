@@ -9,6 +9,7 @@ func init() {
 		cfg := DefaultConfig()
 		cfg.Cache.Scratch = o.CacheScratch
 		cfg.Cache.Reference = o.ReferenceCache
+		cfg.ReferenceSets = o.ReferenceSets
 		return New(cfg)
 	})
 }

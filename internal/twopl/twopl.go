@@ -10,11 +10,20 @@
 // (no-false-positive) bloom filters, modelled as exact sets. Commits
 // serialize on a commit token and write the speculative write log back to
 // memory; aborts discard the logs and restart in software.
+//
+// Access tracking uses the signature-backed tables of internal/aset:
+// the write log is an aset.WriteLog, and per-line reader/writer holds are
+// epoch-stamped records that a finished or recycled transaction
+// invalidates all at once, so begin/commit/abort never walk the line
+// table. The pre-aset map-based engine is kept verbatim in slow.go as a
+// differential oracle behind Config.ReferenceSets.
 package twopl
 
 import (
+	"fmt"
 	"math/bits"
 
+	"repro/internal/aset"
 	"repro/internal/cache"
 	"repro/internal/mem"
 	"repro/internal/sched"
@@ -42,6 +51,11 @@ type Config struct {
 	InterruptPeriod int
 	// InterruptCost is the handler overhead charged per interrupt.
 	InterruptCost uint64
+	// ReferenceSets routes transactions through the verbatim map-based
+	// access-set implementation (slow.go), the differential oracle for
+	// the aset fast path. Results are bit-identical to the default; only
+	// simulator wall time changes.
+	ReferenceSets bool
 }
 
 // DefaultConfig returns the evaluated configuration: idealised unbounded
@@ -51,13 +65,18 @@ func DefaultConfig() Config {
 }
 
 // noLine is the lastRead sentinel: no real line has this number, so a
-// fresh transaction's first read always takes the map path.
+// fresh transaction's first read always takes the set path.
 const noLine = ^mem.Line(0)
 
-// lineState tracks which active transactions hold a line transactionally.
+// lineState tracks which transactions hold a line transactionally. The
+// writer hold is valid only while (writer.epoch == wEpoch &&
+// !writer.finished); reader records carry the same epoch validation
+// inside aset.Readers. Finishing a transaction therefore releases every
+// hold it had without touching this table.
 type lineState struct {
 	writer  *txn
-	readers map[*txn]struct{}
+	wEpoch  uint64
+	readers aset.Readers[*txn]
 }
 
 // Engine is the 2PL baseline.
@@ -81,15 +100,20 @@ type Engine struct {
 	// simulated address space is dense (bump allocated), and these sit
 	// on the per-access hot path where a map hash dominated.
 	words  mem.Dense[uint64]
-	lines  mem.Dense[*lineState]
+	lines  mem.Dense[lineState]
 	txnSeq uint64
 
-	// lastTxn recycles each thread's most recent transaction object.
-	// cleanup fully deregisters a finished transaction from the engine
-	// (readers, writer slots), so once the same thread begins again the
-	// old object — and, crucially, its already-grown read/write-set
-	// maps — can be reused without a fresh allocate-and-rehash cycle.
-	lastTxn map[int]*txn
+	// lastTxn recycles each thread's most recent transaction object:
+	// finishing a transaction invalidates its epoch-stamped line holds,
+	// so the object — and its already-grown access sets — can be reused
+	// without a fresh allocate-and-rehash cycle.
+	lastTxn    map[int]*txn
+	liveReader func(*txn, uint64) bool
+
+	// Reference map-based implementation state (slow.go), used only when
+	// cfg.ReferenceSets.
+	linesSlow   mem.Dense[*slowLineState]
+	lastTxnSlow map[int]*slowTxn
 
 	commitBusy  bool
 	accessCount int
@@ -97,11 +121,16 @@ type Engine struct {
 
 // New creates a 2PL engine.
 func New(cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		shared:  cache.NewShared(cfg.Cache),
 		lastTxn: make(map[int]*txn),
 	}
+	e.liveReader = e.readerLive
+	if cfg.ReferenceSets {
+		e.lastTxnSlow = make(map[int]*slowTxn)
+	}
+	return e
 }
 
 // Name implements tm.Engine.
@@ -168,12 +197,49 @@ func (e *Engine) CacheStats() cache.Stats {
 	return s
 }
 
-func (e *Engine) state(l mem.Line) *lineState {
-	sp := e.lines.Slot(uint64(l))
-	if *sp == nil {
-		*sp = &lineState{readers: make(map[*txn]struct{})}
+// AuditAccessSets verifies that no live access-set state survives outside
+// a running transaction: recycled transaction objects hold empty sets and
+// no line records a live reader or writer. tmtest calls it after each
+// conformance cell. The reference (map-based) path keeps the pre-aset
+// engine's own lifecycle — cleanup deletes its holds eagerly — so it is
+// not audited.
+func (e *Engine) AuditAccessSets() error {
+	if e.cfg.ReferenceSets {
+		return nil
 	}
-	return *sp
+	for id, tx := range e.lastTxn {
+		if tx == nil {
+			continue
+		}
+		if !tx.finished {
+			return fmt.Errorf("twopl: thread %d transaction unfinished", id)
+		}
+		if n := tx.writes.Len(); n != 0 {
+			return fmt.Errorf("twopl: thread %d leaked %d write-log lines", id, n)
+		}
+		if n := tx.reads.Len(); n != 0 {
+			return fmt.Errorf("twopl: thread %d leaked %d read-set lines", id, n)
+		}
+	}
+	sl := e.lines.Slice()
+	for i := range sl {
+		st := &sl[i]
+		if w := st.writer; w != nil && w.epoch == st.wEpoch && !w.finished {
+			return fmt.Errorf("twopl: line %d holds a live writer after quiescence", i)
+		}
+		st.readers.Compact(e.liveReader)
+		if n := st.readers.Len(); n != 0 {
+			return fmt.Errorf("twopl: line %d holds %d live reader records after quiescence", i, n)
+		}
+	}
+	return nil
+}
+
+// readerLive is the liveness predicate of reader records: live while the
+// object has not been recycled (epoch match) and the transaction has not
+// finished.
+func (e *Engine) readerLive(r *txn, epoch uint64) bool {
+	return r.epoch == epoch && !r.finished
 }
 
 // txn is one 2PL transaction attempt.
@@ -182,22 +248,22 @@ type txn struct {
 	t  *sched.Thread
 	h  *cache.Hierarchy
 	id uint64
+	// epoch distinguishes incarnations of a recycled transaction object:
+	// line holds carry the epoch they were made under, so recycling
+	// releases all of an object's holds without walking the line table.
+	epoch uint64
 
-	// readLines lists the lines this transaction holds in shared mode,
-	// each exactly once (the insert is guarded by st.readers
-	// membership, which doubles as the dedup set — one map operation
-	// per read instead of the two a separate read-set map cost).
-	readLines []mem.Line
-	// lastRead memoises the line of the previous Read: membership in
-	// st.readers is idempotent and never revoked mid-transaction, so a
-	// repeat read of the same line (sequential word scans hit the same
-	// line eight times) can skip the map probe entirely.
+	// reads dedups this transaction's reader registrations: one record
+	// per line regardless of how often the line is read.
+	reads aset.LineSet
+	// lastRead memoises the line of the previous Read: registration is
+	// idempotent and never revoked mid-transaction, so a repeat read of
+	// the same line (sequential word scans hit the same line eight
+	// times) can skip the set probe entirely.
 	lastRead mem.Line
-	writeLog map[mem.Addr]uint64
-	writeSet map[mem.Line]struct{}
-	// writeOrder preserves first-write order so commit-time cycle
-	// charging is deterministic (map iteration is not).
-	writeOrder []mem.Line
+	// writes buffers the speculative stores: line membership,
+	// first-write order and the logged words in one structure.
+	writes aset.WriteLog
 
 	// selfBit is this thread's presence bit (cache.CoreBit of its ID),
 	// noted on every access so committers know this core may hold the
@@ -215,30 +281,31 @@ var _ tm.Txn = (*txn)(nil)
 
 // Begin implements tm.Engine.
 func (e *Engine) Begin(t *sched.Thread) tm.Txn {
+	if e.cfg.ReferenceSets {
+		return e.beginSlow(t)
+	}
 	e.txnSeq++
 	var tx *txn
 	if old := e.lastTxn[t.ID()]; old != nil && old.finished {
-		// clear keeps the maps' grown capacity, so steady-state
-		// transactions insert without rehashing.
-		clear(old.writeLog)
-		clear(old.writeSet)
-		*old = txn{
-			e: e, t: t, h: old.h, id: e.txnSeq,
-			readLines:  old.readLines[:0],
-			lastRead:   noLine,
-			selfBit:    old.selfBit,
-			writeLog:   old.writeLog,
-			writeSet:   old.writeSet,
-			writeOrder: old.writeOrder[:0],
-		}
+		// The object's sets were Reset when it finished, keeping their
+		// grown capacity; bumping the epoch releases any line holds the
+		// previous incarnation left behind. The thread object can
+		// differ across scheduler runs even for the same thread ID, so
+		// it is rebound.
+		old.t = t
+		old.id = e.txnSeq
+		old.epoch++
+		old.lastRead = noLine
+		old.doomed, old.doomKind, old.doomLine = false, 0, 0
+		old.finished = false
+		old.site = ""
 		tx = old
 	} else {
 		tx = &txn{
 			e: e, t: t, h: e.hierarchy(t), id: e.txnSeq,
+			epoch:    1,
 			lastRead: noLine,
 			selfBit:  cache.CoreBit(t.ID()),
-			writeLog: make(map[mem.Addr]uint64),
-			writeSet: make(map[mem.Line]struct{}),
 		}
 		e.lastTxn[t.ID()] = tx
 	}
@@ -301,6 +368,19 @@ func (x *txn) maybeInterrupt(line mem.Line) {
 	tm.SignalAbort(tm.AbortInterrupt, line)
 }
 
+// liveWriter returns the line's current writer, clearing a hold whose
+// transaction finished or was recycled (the lazy counterpart of the
+// eager slot clear the map-based cleanup performed).
+func (st *lineState) liveWriter() *txn {
+	if w := st.writer; w != nil {
+		if w.epoch == st.wEpoch && !w.finished {
+			return w
+		}
+		st.writer = nil
+	}
+	return nil
+}
+
 // Read implements tm.Txn: a get-shared broadcast aborts any conflicting
 // writer ("requester wins"), then the line joins the read set.
 func (x *txn) Read(a mem.Addr) uint64 {
@@ -315,24 +395,18 @@ func (x *txn) Read(a mem.Addr) uint64 {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
-	st := x.e.state(line)
-	if st.writer != nil && st.writer != x {
-		st.writer.doom(tm.AbortReadWrite, line)
+	st := x.e.lines.Slot(uint64(line))
+	if w := st.liveWriter(); w != nil && w != x {
+		w.doom(tm.AbortReadWrite, line)
 	}
 	if line != x.lastRead {
-		// One map operation instead of probe-then-insert: the length
-		// delta reveals whether the assignment was a first read.
-		n := len(st.readers)
-		st.readers[x] = struct{}{}
-		if len(st.readers) != n {
-			x.readLines = append(x.readLines, line)
+		if x.reads.Add(line) {
+			st.readers.CompactAdd(x, x.epoch, x.e.liveReader)
 		}
 		x.lastRead = line
 	}
-	if len(x.writeLog) != 0 {
-		if v, ok := x.writeLog[a]; ok {
-			return v
-		}
+	if v, ok := x.writes.Load(a); ok {
+		return v
 	}
 	return x.e.words.Load(mem.WordIndex(a))
 }
@@ -354,7 +428,7 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 	// Version-buffer overflow (§4.3): the L1-resident speculative state
 	// cannot exceed the buffer; the transaction aborts.
 	if n := x.e.cfg.VersionBufferLines; n > 0 {
-		if _, ok := x.writeSet[line]; !ok && len(x.writeSet) >= n {
+		if !x.writes.Has(line) && x.writes.Len() >= n {
 			x.cleanup()
 			x.e.stats.Count(tm.AbortCapacity)
 			if x.e.tracer != nil {
@@ -363,39 +437,28 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 			tm.SignalAbort(tm.AbortCapacity, line)
 		}
 	}
-	st := x.e.state(line)
-	if st.writer != nil && st.writer != x {
-		st.writer.doom(tm.AbortWriteWrite, line)
+	st := x.e.lines.Slot(uint64(line))
+	if w := st.liveWriter(); w != nil && w != x {
+		w.doom(tm.AbortWriteWrite, line)
 	}
-	for r := range st.readers {
-		if r != x {
+	for _, ent := range st.readers.Entries() {
+		if r := ent.Tx; r != x && r.epoch == ent.Epoch && !r.finished {
 			r.doom(tm.AbortReadWrite, line)
 		}
 	}
 	st.writer = x
-	// One map operation instead of probe-then-insert: the length delta
-	// reveals whether the assignment was a first write.
-	n := len(x.writeSet)
-	x.writeSet[line] = struct{}{}
-	if len(x.writeSet) != n {
-		x.writeOrder = append(x.writeOrder, line)
-	}
-	x.writeLog[a] = v
+	st.wEpoch = x.epoch
+	x.writes.Store(a, v)
 }
 
-// cleanup removes the transaction from every line state.
+// cleanup releases the transaction's line holds and resets its sets.
+// Setting finished invalidates every reader/writer record the
+// transaction made (they are epoch-and-liveness validated), so no table
+// walk is needed.
 func (x *txn) cleanup() {
-	for _, line := range x.readLines {
-		if st := x.e.lines.Load(uint64(line)); st != nil {
-			delete(st.readers, x)
-		}
-	}
-	for line := range x.writeSet {
-		if st := x.e.lines.Load(uint64(line)); st != nil && st.writer == x {
-			st.writer = nil
-		}
-	}
 	x.finished = true
+	x.writes.Reset()
+	x.reads.Reset()
 }
 
 // Abort implements tm.Txn: read and write logs are discarded and the
@@ -422,7 +485,7 @@ func (x *txn) Commit() error {
 	if x.doomed {
 		return x.abortDoomed()
 	}
-	if len(x.writeLog) == 0 {
+	if x.writes.Len() == 0 {
 		x.cleanup()
 		x.e.stats.Commits++
 		x.e.stats.ReadOnly++
@@ -446,10 +509,15 @@ func (x *txn) Commit() error {
 		x.t.WakeAll()
 		return x.abortDoomed()
 	}
-	for a, v := range x.writeLog {
-		x.e.words.Store(mem.WordIndex(a), v)
+	for i := 0; i < x.writes.Len(); i++ {
+		line, w := x.writes.At(i)
+		for word := 0; word < mem.WordsPerLine; word++ {
+			if w.Mask&(1<<word) != 0 {
+				x.e.words.Store(mem.WordIndex(mem.WordAddr(line, word)), w.Words[word])
+			}
+		}
 	}
-	for _, line := range x.writeOrder {
+	for _, line := range x.writes.Lines() {
 		// Re-note: another commit may have drained this core's bit
 		// while we were stalled, and the Access below re-fills the line.
 		x.e.presence.Note(line, x.selfBit)
