@@ -6,7 +6,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"runtime/debug"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -51,35 +50,15 @@ type benchReport struct {
 	Command    string `json:"command"`
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
-	// GitRevision is the revision the binary was built from (from the
-	// build info stamped by the go tool; "unknown" outside a
-	// git checkout, with a "-dirty" suffix for modified trees).
+	// GitRevision is the revision the binary was built from (build-info
+	// VCS stamp, falling back to asking git about the build tree;
+	// "unknown" outside a git checkout, with a "-dirty" suffix when the
+	// working tree has uncommitted changes).
 	GitRevision string         `json:"git_revision"`
 	Workers     int            `json:"workers"`
 	Seeds       []uint64       `json:"seeds"`
 	Sections    []benchSection `json:"sections"`
 	HotPaths    []benchHotPath `json:"hot_paths"`
-}
-
-// gitRevision extracts the VCS revision from the binary's build info.
-func gitRevision() string {
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return "unknown"
-	}
-	rev, dirty := "unknown", false
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			rev = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
-		}
-	}
-	if dirty && rev != "unknown" {
-		rev += "-dirty"
-	}
-	return rev
 }
 
 // benchCollector accumulates per-cell simulated cycles (fed concurrently
@@ -98,7 +77,7 @@ func newBenchCollector(workers int, seeds []uint64) *benchCollector {
 		Command:     strings.Join(args, " "),
 		GoVersion:   runtime.Version(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		GitRevision: gitRevision(),
+		GitRevision: exp.CurrentGitRevision(),
 		Workers:     workers,
 		Seeds:       seeds,
 	}}

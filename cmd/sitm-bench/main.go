@@ -13,6 +13,12 @@
 // experiment plans executed on a shared-nothing worker pool; -workers
 // bounds the pool (default: one worker per CPU) and the output is
 // byte-identical at any worker count.
+//
+// -cache-dir names a persistent content-addressed result cache: every
+// cell result is stored under a key hashing the cell, its configuration
+// and fingerprints of the simulation sources, so a re-run with an
+// unchanged tree simulates nothing and an engine edit recomputes only
+// that engine's cells. Figure bytes are identical cold or warm.
 package main
 
 import (
@@ -102,6 +108,7 @@ func main() {
 		chart      = flag.Bool("chart", false, "also render Figure 7/8 series as ASCII charts")
 		scale      = flag.Int("scale", 1, "workload size multiplier (larger approaches the paper's inputs)")
 		mvmStats   = flag.Bool("mvm", false, "report the §3 MVM behaviour (coalescing, GC, overheads, dedup) per workload")
+		cacheDir   = flag.String("cache-dir", "", "content-addressed result cache directory: cells whose key (cell + config + source fingerprints) is already stored are served without simulating; figure bytes are identical either way")
 		jsonPath   = flag.String("json", "", "write a machine-readable benchmark trajectory (wall time, simulated Mcycles/s and hot-path allocs per section) to this file")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the sweeps (not the -json hot-path measurement) to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile, taken after the sweeps complete, to this file")
@@ -135,9 +142,21 @@ func main() {
 			o.Only = append(o.Only, name)
 		}
 	}
+	if *cacheDir != "" {
+		c, err := exp.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: %v\n", err)
+			os.Exit(2)
+		}
+		o.Cache = c
+	}
 	if *progress {
 		o.Progress = func(p exp.Progress) {
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %s (%s)\n", p.Done, p.Total, p.Cell, p.Wall.Round(time.Millisecond))
+			tag := "run"
+			if p.Cached {
+				tag = "hit"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s (%s)\n", p.Done, p.Total, p.Cell, tag, p.Wall.Round(time.Millisecond))
 		}
 	}
 	var bench *benchCollector
@@ -216,6 +235,13 @@ func main() {
 		ran = true
 	}
 	stopProfiles()
+	if o.Cache != nil && ran {
+		st := o.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache %s: %d cells served warm, %d computed and stored\n", *cacheDir, st.Hits, st.Puts)
+		if err := o.Cache.LastError(); err != nil {
+			fmt.Fprintf(os.Stderr, "sitm-bench: cache (non-fatal): %v\n", err)
+		}
+	}
 	if bench != nil && ran {
 		if err := bench.write(*jsonPath); err != nil {
 			fmt.Fprintf(os.Stderr, "sitm-bench: writing %s: %v\n", *jsonPath, err)

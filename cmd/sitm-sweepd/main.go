@@ -1,0 +1,133 @@
+// Command sitm-sweepd is the sweep daemon: a long-running HTTP/JSON
+// service that accepts figure plans, shards their cells across worker
+// processes with work-stealing leases, streams per-cell progress, and
+// serves figures rendered from a shared content-addressed result cache.
+//
+// Because every cell result is content-addressed by its provenance
+// (workload, engine, threads, seed, configuration, source fingerprints),
+// the daemon is crash-safe by construction: kill it mid-plan, restart it
+// on the same -cache-dir, and it resumes from whatever the cache already
+// holds — persisted plan specs are resubmitted and only the missing
+// cells are recomputed. Figures served over HTTP are byte-identical to a
+// local `sitm-bench` run of the same tree.
+//
+// Quickstart:
+//
+//	sitm-sweepd -cache-dir /tmp/sitm-cache -addr 127.0.0.1:8347 &
+//	curl -s -X POST localhost:8347/api/plans \
+//	     -d '{"figures":["figure7"],"workloads":["List"],"seeds":[1]}'
+//	curl -s localhost:8347/api/plans/<id>/events       # watch progress
+//	curl -s localhost:8347/api/plans/<id>/figures/figure7
+//
+// With -procs N the daemon spawns N copies of itself as external worker
+// processes (each re-executes this binary with -worker); they share the
+// cache directory and drain the same queue via the lease protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/exp"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8347", "listen address")
+		cacheDir = flag.String("cache-dir", "", "shared content-addressed result cache directory (required)")
+		workers  = flag.Int("workers", 0, "in-process executor goroutines (0 = GOMAXPROCS, -1 = none)")
+		procs    = flag.Int("procs", 0, "external worker processes to spawn (each runs this binary with -worker)")
+		workerOf = flag.String("worker", "", "run as an external worker for the daemon at this base URL instead of serving")
+		name     = flag.String("name", "", "worker name (with -worker; default pid-based)")
+	)
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+	log.SetPrefix("sitm-sweepd: ")
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "sitm-sweepd: -cache-dir is required")
+		os.Exit(2)
+	}
+	cache, err := exp.OpenCache(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if *workerOf != "" {
+		runWorker(ctx, *workerOf, cache, *name)
+		return
+	}
+	runServer(ctx, *addr, cache, *workers, *procs)
+}
+
+// runWorker runs this process as one external worker until cancelled.
+func runWorker(ctx context.Context, server string, cache *exp.Cache, name string) {
+	if name == "" {
+		name = fmt.Sprintf("proc-%d", os.Getpid())
+	}
+	w := &sweep.Worker{Server: server, Cache: cache, Name: name, Logf: log.Printf}
+	if err := w.Run(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runServer serves the sweep API until cancelled, optionally spawning
+// external worker subprocesses that drain the same queue.
+func runServer(ctx context.Context, addr string, cache *exp.Cache, workers, procs int) {
+	srv, err := sweep.New(sweep.Config{Cache: cache, Workers: workers, Logf: log.Printf})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on http://%s (cache %s)", ln.Addr(), cache.Dir())
+	srv.Start()
+
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	var procCmds []*exec.Cmd
+	for i := 0; i < procs; i++ {
+		cmd := exec.Command(os.Args[0],
+			"-worker", "http://"+ln.Addr().String(),
+			"-cache-dir", cache.Dir(),
+			"-name", fmt.Sprintf("proc-%d-%d", os.Getpid(), i))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Printf("spawning worker %d: %v", i, err)
+			continue
+		}
+		log.Printf("spawned worker process %d (pid %d)", i, cmd.Process.Pid)
+		procCmds = append(procCmds, cmd)
+	}
+
+	<-ctx.Done()
+	log.Printf("shutting down")
+	for _, cmd := range procCmds {
+		cmd.Process.Signal(os.Interrupt)
+	}
+	for _, cmd := range procCmds {
+		cmd.Wait()
+	}
+	hs.Shutdown(context.Background())
+	srv.Close()
+}

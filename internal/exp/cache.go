@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a persistent content-addressed store of cell results: one JSON
+// blob per provenance key under a directory. Because keys hash the full
+// cell coordinates, configuration and source fingerprints, there is no
+// explicit invalidation protocol — an edit to simulation code changes the
+// keys of the affected cells and the stale blobs simply stop being
+// addressed. Entries never lie; at worst they are garbage to every future
+// key and can be deleted wholesale (`rm -r <dir>`).
+//
+// The cache is safe for concurrent use by multiple goroutines AND
+// multiple processes sharing one directory: blobs are written to a
+// temporary file and renamed into place, so a reader sees either nothing
+// or a complete record. A corrupted or truncated blob (crash mid-rename
+// on exotic filesystems, manual tampering) is treated as a miss and
+// removed — recompute, don't crash.
+type Cache struct {
+	dir string
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	puts   atomic.Uint64
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// OpenCache opens (creating if needed) a result cache rooted at dir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("exp: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("exp: opening cache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its blob path. Keys are hex digests; anything else
+// is rejected by Get/Put before reaching the filesystem.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// validKey guards against path traversal through hand-built keys.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for _, r := range key {
+		if !strings.ContainsRune("0123456789abcdef", r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Get loads the result stored under key. A missing, unreadable or
+// corrupted blob reports ok=false (and removes the blob when corrupted):
+// the caller recomputes and overwrites.
+func (c *Cache) Get(key string) (CellResult, bool) {
+	var res CellResult
+	if !validKey(key) {
+		return res, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return res, false
+	}
+	if err := json.Unmarshal(data, &res); err != nil {
+		// Corrupted blob: recover by recomputing, and drop the blob so
+		// it stops costing a parse on every probe.
+		os.Remove(c.path(key))
+		c.noteError(fmt.Errorf("exp: corrupt cache blob %s (removed): %w", key, err))
+		c.misses.Add(1)
+		return res, false
+	}
+	c.hits.Add(1)
+	return res, true
+}
+
+// Contains reports whether key is stored, without loading or accounting
+// it (the sweep service uses it to size resumed plans).
+func (c *Cache) Contains(key string) bool {
+	if !validKey(key) {
+		return false
+	}
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
+// Put stores res under key atomically (temp file + rename), so concurrent
+// writers of the same key — workers racing on a shared cell — both
+// succeed and readers never observe a partial blob. Last writer wins;
+// deterministic cells make every writer's record identical anyway.
+func (c *Cache) Put(key string, res CellResult) error {
+	if !validKey(key) {
+		return fmt.Errorf("exp: invalid cache key %q", key)
+	}
+	data, err := json.MarshalIndent(&res, "", " ")
+	if err != nil {
+		return fmt.Errorf("exp: encoding cache blob: %w", err)
+	}
+	f, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("exp: writing cache blob: %w", err)
+	}
+	_, werr := f.Write(append(data, '\n'))
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("exp: writing cache blob: %w", werr)
+	}
+	if err := os.Rename(f.Name(), c.path(key)); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("exp: writing cache blob: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// CacheStats is a point-in-time snapshot of cache traffic.
+type CacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Puts   uint64 `json:"puts"`
+}
+
+// Stats snapshots the per-process hit/miss/store counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Puts: c.puts.Load()}
+}
+
+// noteError records a non-fatal cache problem (failed store, corrupt
+// blob) for later inspection; cache errors cost recomputes, never
+// correctness.
+func (c *Cache) noteError(err error) {
+	c.errMu.Lock()
+	c.lastErr = err
+	c.errMu.Unlock()
+}
+
+// LastError returns the most recent non-fatal cache problem, if any.
+func (c *Cache) LastError() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.lastErr
+}

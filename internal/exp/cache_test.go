@@ -1,0 +1,128 @@
+package exp
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testResult(commits uint64) CellResult {
+	return CellResult{
+		Workload: "List", Commits: commits, Aborts: 7,
+		RWAborts: 4, WWAborts: 2, OtherAborts: 1, SimCycles: 123456,
+		GitRevision: "deadbeef", GoVersion: "go-test",
+	}
+}
+
+func testKey(b byte) string { return strings.Repeat(string([]byte{b}), 64) }
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey('a')
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache must miss")
+	}
+	want := testResult(42)
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("stored key must hit")
+	}
+	if got != want {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1/1/1", st)
+	}
+	// Contains neither loads nor accounts.
+	if !c.Contains(key) || c.Contains(testKey('b')) {
+		t.Fatal("Contains wrong")
+	}
+	if st2 := c.Stats(); st2 != st {
+		t.Fatalf("Contains must not change stats: %+v vs %+v", st2, st)
+	}
+}
+
+func TestCachePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	c1, _ := OpenCache(dir)
+	key := testKey('c')
+	if err := c1.Put(key, testResult(9)); err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := OpenCache(dir)
+	got, ok := c2.Get(key)
+	if !ok || got.Commits != 9 {
+		t.Fatalf("reopened cache lost the blob: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestCacheCorruptBlobRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := OpenCache(dir)
+	key := testKey('d')
+	if err := c.Put(key, testResult(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the blob mid-record, as a crash on an exotic filesystem
+	// might. The cache must treat it as a miss, remove it, and keep the
+	// error inspectable — recompute, don't crash.
+	path := filepath.Join(dir, key+".json")
+	if err := os.WriteFile(path, []byte(`{"workload":"List","com`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt blob must miss")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt blob must be removed, stat err = %v", err)
+	}
+	if c.LastError() == nil {
+		t.Fatal("corruption must be recorded in LastError")
+	}
+	// The key is reusable after recovery.
+	if err := c.Put(key, testResult(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(key); !ok || got.Commits != 2 {
+		t.Fatalf("recomputed blob must round-trip: ok=%v got=%+v", ok, got)
+	}
+}
+
+func TestCacheRejectsBadKeys(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	for _, key := range []string{
+		"",
+		"short",
+		strings.Repeat("A", 64), // upper-case hex is not produced
+		"../../../../etc/passwd0000000000000000000000000", // traversal shape
+		strings.Repeat("a", 63) + "/",
+	} {
+		if err := c.Put(key, CellResult{}); err == nil {
+			t.Errorf("Put(%q) must reject the key", key)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Errorf("Get(%q) must miss", key)
+		}
+		if c.Contains(key) {
+			t.Errorf("Contains(%q) must be false", key)
+		}
+	}
+}
+
+func TestCacheOverwriteLastWriterWins(t *testing.T) {
+	c, _ := OpenCache(t.TempDir())
+	key := testKey('e')
+	c.Put(key, testResult(1))
+	c.Put(key, testResult(2))
+	if got, _ := c.Get(key); got.Commits != 2 {
+		t.Fatalf("overwrite lost: %+v", got)
+	}
+}

@@ -1,0 +1,174 @@
+package exp_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/micro"
+)
+
+// corruptBlob truncates a stored blob mid-record.
+func corruptBlob(t *testing.T, c *exp.Cache, key string) {
+	t.Helper()
+	path := filepath.Join(c.Dir(), key+".json")
+	if err := os.WriteFile(path, []byte(`{"workload":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runner builds a cached CellRunner with a fixed synthetic provenance so
+// the tests control invalidation precisely.
+func runner(c *exp.Cache, prov exp.Provenance) exp.CellRunner {
+	return exp.CellRunner{
+		Runner:  exp.Runner{Workers: 1},
+		Resolve: harness.WorkloadByName,
+		Cache:   c,
+		Prov:    prov,
+	}
+}
+
+// fakeProv is a fully populated provenance that CanCache.
+func fakeProv() exp.Provenance {
+	return exp.Provenance{
+		GoVersion:   "go-test",
+		GitRevision: "abc",
+		Sim:         "sim-fp-1",
+		Engines:     map[string]string{"2pl": "twopl-fp-1", "sontm": "sontm-fp-1", "si-tm": "core-fp-1", "ssi-tm": "core-fp-1"},
+		AllEngines:  "all-fp-1",
+	}
+}
+
+func counts(rs []exp.Result[exp.CellResult]) (hits, computed int) {
+	for _, r := range rs {
+		if r.Cached {
+			hits++
+		} else {
+			computed++
+		}
+	}
+	return
+}
+
+func TestCellRunnerMemoizes(t *testing.T) {
+	c, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := exp.Cross([]string{"List"}, []string{"2PL", "SI-TM"}, []int{2}, []uint64{1})
+	cr := runner(c, fakeProv())
+
+	cold, err := cr.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, computed := counts(cold); hits != 0 || computed != len(plan) {
+		t.Fatalf("cold run: %d hits, %d computed", hits, computed)
+	}
+	warm, err := cr.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, computed := counts(warm); hits != len(plan) || computed != 0 {
+		t.Fatalf("warm run: %d hits, %d computed", hits, computed)
+	}
+	// Cached results reproduce the computed ones exactly — this is what
+	// figure byte-identity rests on.
+	for i := range cold {
+		if warm[i].Value != cold[i].Value {
+			t.Fatalf("cell %s: cached %+v != computed %+v", plan[i], warm[i].Value, cold[i].Value)
+		}
+	}
+}
+
+func TestEngineEditRecomputesOnlyThatEngine(t *testing.T) {
+	c, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := exp.Cross([]string{"List"}, []string{"2PL", "SONTM", "SI-TM"}, []int{2}, []uint64{1})
+	if _, err := runner(c, fakeProv()).Run(plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate an edit to internal/twopl: only the 2PL fingerprint moves.
+	edited := fakeProv()
+	edited.Engines = map[string]string{"2pl": "twopl-fp-2", "sontm": "sontm-fp-1", "si-tm": "core-fp-1", "ssi-tm": "core-fp-1"}
+	rs, err := runner(c, edited).Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		wantCached := r.Cell.Engine != "2PL"
+		if r.Cached != wantCached {
+			t.Errorf("%s: cached=%v, want %v after a twopl-only edit", r.Cell, r.Cached, wantCached)
+		}
+	}
+}
+
+func TestCellRunnerBypassesCacheWithoutProvenance(t *testing.T) {
+	c, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak := exp.Provenance{GoVersion: "go-test"} // no source fingerprints
+	cr := exp.CellRunner{
+		Runner:  exp.Runner{Workers: 1},
+		Resolve: func(string) (func() exp.Workload, error) { return func() exp.Workload { return micro.NewList() }, nil },
+		Cache:   c,
+		Prov:    weak,
+	}
+	plan := exp.Plan{{Workload: "List", Engine: "SI-TM", Threads: 2, Seed: 1}}
+	for run := 0; run < 2; run++ {
+		rs, err := cr.Run(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[0].Cached {
+			t.Fatal("unprovenanced run must never report a cache hit")
+		}
+	}
+	if st := c.Stats(); st.Puts != 0 {
+		t.Fatalf("unprovenanced run must not store blobs: %+v", st)
+	}
+}
+
+func TestCellRunnerRecoversFromCorruptBlob(t *testing.T) {
+	c, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := fakeProv()
+	plan := exp.Plan{{Workload: "List", Engine: "SI-TM", Threads: 2, Seed: 1}}
+	cr := runner(c, prov)
+	cold, err := cr.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored blob in place, then re-run: the runner must
+	// recompute (not crash, not serve garbage) and heal the cache.
+	key := prov.CellKey(plan[0], exp.CellConfig{})
+	if err := c.Put(key, cold[0].Value); err != nil {
+		t.Fatal(err)
+	}
+	corruptBlob(t, c, key)
+	again, err := cr.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0].Cached {
+		t.Fatal("corrupt blob must force a recompute")
+	}
+	if again[0].Value != cold[0].Value {
+		t.Fatalf("recomputed value differs: %+v vs %+v", again[0].Value, cold[0].Value)
+	}
+	healed, err := cr.Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !healed[0].Cached {
+		t.Fatal("recompute must re-store the blob")
+	}
+}

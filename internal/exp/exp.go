@@ -66,6 +66,9 @@ type Progress struct {
 	// Cell is the completed cell; Wall is its wall-clock duration.
 	Cell Cell
 	Wall time.Duration
+	// Cached reports that the cell was served from the result cache
+	// instead of being simulated (CellRunner only).
+	Cached bool
 }
 
 // Runner executes plans on a bounded worker pool.
@@ -96,11 +99,13 @@ func (r Runner) workers(planLen int) int {
 }
 
 // Result pairs a cell with the executor's measurement and the cell's
-// wall-clock duration.
+// wall-clock duration. Cached reports whether the value was served from
+// the result cache (CellRunner only).
 type Result[T any] struct {
-	Cell  Cell
-	Value T
-	Wall  time.Duration
+	Cell   Cell
+	Value  T
+	Wall   time.Duration
+	Cached bool
 }
 
 // Run executes every cell of plan through exec and returns the results in
@@ -122,6 +127,15 @@ func Run[T any](r Runner, plan Plan, exec func(i int, c Cell) T) []Result[T] {
 // measured results: which worker runs a cell, and therefore which W it
 // sees, is nondeterministic.
 func RunWarm[T, W any](r Runner, plan Plan, warm func() W, exec func(i int, c Cell, w W) T) []Result[T] {
+	return runWarm(r, plan, warm, func(i int, c Cell, w W) (T, bool) {
+		return exec(i, c, w), false
+	})
+}
+
+// runWarm is the shared worker-pool core: exec additionally reports
+// whether the cell was served from a cache, which is threaded into the
+// result and the progress callback.
+func runWarm[T, W any](r Runner, plan Plan, warm func() W, exec func(i int, c Cell, w W) (T, bool)) []Result[T] {
 	results := make([]Result[T], len(plan))
 	if len(plan) == 0 {
 		return results
@@ -133,13 +147,13 @@ func RunWarm[T, W any](r Runner, plan Plan, warm func() W, exec func(i int, c Ce
 	)
 	runCell := func(i int, w W) {
 		start := time.Now()
-		v := exec(i, plan[i], w)
+		v, cached := exec(i, plan[i], w)
 		wall := time.Since(start)
-		results[i] = Result[T]{Cell: plan[i], Value: v, Wall: wall}
+		results[i] = Result[T]{Cell: plan[i], Value: v, Wall: wall, Cached: cached}
 		if r.Progress != nil {
 			mu.Lock()
 			done++
-			r.Progress(Progress{Done: done, Total: len(plan), Cell: plan[i], Wall: wall})
+			r.Progress(Progress{Done: done, Total: len(plan), Cell: plan[i], Wall: wall, Cached: cached})
 			mu.Unlock()
 		}
 	}

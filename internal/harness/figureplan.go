@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+// The figure-plan surface: every figure/table of the evaluation exposed
+// as (plan, cell config) pairs, so services above the harness — the
+// sweep daemon in particular — can enumerate exactly the cells a figure
+// needs, execute or cache them independently, and then render the figure
+// as a pure function of the shared result cache.
+
+// FigureNames lists the renderable sections in presentation order.
+// "table1" is static (no cells); every other section sweeps a plan.
+var FigureNames = []string{"table1", "figure1", "figure7", "figure8", "table2", "mvm"}
+
+// KnownFigure reports whether name names a renderable section.
+func KnownFigure(name string) bool {
+	for _, f := range FigureNames {
+		if strings.EqualFold(f, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// FigurePlan is the cell-layer footprint of one figure: the exact plan
+// its sweep executes and the cell configuration those cells run under
+// (which participates in their cache keys).
+type FigurePlan struct {
+	Figure string
+	Plan   exp.Plan
+	Config exp.CellConfig
+}
+
+// PlanFigure returns the plan and cell configuration of the named
+// figure under the given options — exactly the cells the corresponding
+// Figure/Table/MVMReport call would run, so a cache populated from this
+// plan serves that call without simulating. threads applies to the
+// sections that take a thread count (figure1, table2, mvm).
+func PlanFigure(figure string, threads int, o Options) (FigurePlan, error) {
+	o = o.withDefaults()
+	switch strings.ToLower(figure) {
+	case "table1":
+		return FigurePlan{Figure: "table1"}, nil
+	case "figure1":
+		names := o.filterWorkloads(Fig1Workloads)
+		return FigurePlan{
+			Figure: "figure1",
+			Plan:   exp.Cross(names, []EngineKind{TwoPL}, []int{threads}, o.Seeds),
+			Config: o.cellConfig(),
+		}, nil
+	case "figure7":
+		names := o.filterWorkloads(registryNames())
+		return FigurePlan{
+			Figure: "figure7",
+			Plan:   exp.Cross(names, fig7Engines, Fig7Threads, o.Seeds),
+			Config: o.cellConfig(),
+		}, nil
+	case "figure8":
+		names := o.filterWorkloads(registryNames())
+		return FigurePlan{
+			Figure: "figure8",
+			Plan:   exp.Cross(names, fig7Engines, Fig8Threads, o.Seeds),
+			Config: o.cellConfig(),
+		}, nil
+	case "table2":
+		o.UnboundedVersions = true
+		names := o.filterWorkloads(registryNames())
+		return FigurePlan{
+			Figure: "table2",
+			Plan:   exp.Cross(names, []EngineKind{SITM}, []int{threads}, o.Seeds),
+			Config: o.cellConfig(),
+		}, nil
+	case "mvm":
+		o.measureMVM = true
+		return FigurePlan{
+			Figure: "mvm",
+			Plan:   mvmPlan(threads, o),
+			Config: o.cellConfig(),
+		}, nil
+	}
+	return FigurePlan{}, fmt.Errorf("harness: unknown figure %q (valid: %s)",
+		figure, strings.Join(FigureNames, ", "))
+}
+
+// RenderFigureText renders the named figure as its canonical text bytes.
+// Cells run through the options' worker pool and result cache; with a
+// cache warmed by the figure's plan (PlanFigure) no simulation happens
+// and the bytes are identical to a cold render.
+func RenderFigureText(figure string, threads int, o Options) ([]byte, error) {
+	if !KnownFigure(figure) {
+		return nil, fmt.Errorf("harness: unknown figure %q (valid: %s)",
+			figure, strings.Join(FigureNames, ", "))
+	}
+	var buf bytes.Buffer
+	switch strings.ToLower(figure) {
+	case "table1":
+		Table1(&buf)
+	case "figure1":
+		Figure1(&buf, threads, o)
+	case "figure7":
+		Figure7(&buf, o)
+	case "figure8":
+		Figure8(&buf, o)
+	case "table2":
+		Table2(&buf, threads, o)
+	case "mvm":
+		MVMReport(&buf, threads, o)
+	}
+	return buf.Bytes(), nil
+}

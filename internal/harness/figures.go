@@ -17,6 +17,12 @@ var Fig1Workloads = []string{"Genome", "Bayes", "Intruder", "Kmeans", "Labyrinth
 func Figure1(w io.Writer, threads int, o Options) []Result {
 	names := o.filterWorkloads(Fig1Workloads)
 	res := mustSweep(names, []EngineKind{TwoPL}, []int{threads}, o)
+	return renderFigure1(w, threads, names, res)
+}
+
+// renderFigure1 renders Figure 1 from seed-averaged sweep points — a
+// pure function of aggregated cell results, no simulator calls.
+func renderFigure1(w io.Writer, threads int, names []string, res map[sweepKey]Result) []Result {
 	fmt.Fprintf(w, "Figure 1: Read-Write and Write-Write Aborts in 2PL (%d threads)\n", threads)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\taborts\tread-write %\twrite-write %")
@@ -49,6 +55,12 @@ var fig7Engines = []EngineKind{TwoPL, SONTM, SITM}
 func Figure7(w io.Writer, o Options) map[string]map[int][3]float64 {
 	names := o.filterWorkloads(registryNames())
 	res := mustSweep(names, fig7Engines, Fig7Threads, o)
+	return renderFigure7(w, names, res)
+}
+
+// renderFigure7 renders Figure 7 from seed-averaged sweep points — a
+// pure function of aggregated cell results, no simulator calls.
+func renderFigure7(w io.Writer, names []string, res map[sweepKey]Result) map[string]map[int][3]float64 {
 	fmt.Fprintln(w, "Figure 7: Abort rates relative to 2PL")
 	out := make(map[string]map[int][3]float64)
 	for _, name := range names {
@@ -89,6 +101,12 @@ var Fig8Threads = []int{1, 2, 4, 8, 16, 32}
 func Figure8(w io.Writer, o Options) map[string]map[string][]float64 {
 	names := o.filterWorkloads(registryNames())
 	res := mustSweep(names, fig7Engines, Fig8Threads, o)
+	return renderFigure8(w, names, res)
+}
+
+// renderFigure8 renders Figure 8 from seed-averaged sweep points — a
+// pure function of aggregated cell results, no simulator calls.
+func renderFigure8(w io.Writer, names []string, res map[sweepKey]Result) map[string]map[string][]float64 {
 	fmt.Fprintln(w, "Figure 8: Application speedup (throughput vs 1 thread)")
 	out := make(map[string]map[string][]float64)
 	for _, name := range names {
@@ -137,6 +155,12 @@ func Table2(w io.Writer, threads int, o Options) map[string][6]uint64 {
 	o.UnboundedVersions = true
 	names := o.filterWorkloads(registryNames())
 	res := mustSweep(names, []EngineKind{SITM}, []int{threads}, o)
+	return renderTable2(w, threads, names, res)
+}
+
+// renderTable2 renders Table 2 from seed-averaged sweep points — a pure
+// function of aggregated cell results, no simulator calls.
+func renderTable2(w io.Writer, threads int, names []string, res map[sweepKey]Result) map[string][6]uint64 {
 	fmt.Fprintf(w, "Table 2: Number of accesses to specific MVM versions (%d threads, unbounded)\n", threads)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\t1st\t2nd\t3rd\t4th\t5th\ttail\tolder-than-4th %")

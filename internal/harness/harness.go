@@ -5,14 +5,18 @@
 // rates relative to 2PL), Figure 8 (application speedup) and Table 2 /
 // Appendix A (accesses per MVM version depth).
 //
-// The sweeps are expressed as experiment plans (internal/exp): every
-// (workload, engine, threads, seed) cell is one isolated deterministic
-// simulation, executed on a bounded pool of OS goroutines. Engines are
-// constructed through the tm engine registry; each cell builds its own
-// engine, memory hierarchy and workload instance (shared-nothing), so the
-// lowest-cycle-first schedule inside a cell is unaffected by how many
-// cells run concurrently and all reports are byte-identical at any worker
-// count.
+// The package is the *figure layer* of the experiment stack: it builds
+// experiment plans (internal/exp), hands them to the cell layer's
+// CellRunner — which executes each (workload, engine, threads, seed)
+// cell as one isolated deterministic simulation, optionally memoized
+// through a content-addressed result cache (Options.Cache) — and renders
+// figures as pure functions of the returned serializable cell results.
+// Engines are constructed through the tm engine registry; each cell
+// builds its own engine, memory hierarchy and workload instance
+// (shared-nothing), so the lowest-cycle-first schedule inside a cell is
+// unaffected by how many cells run concurrently and all reports are
+// byte-identical at any worker count, and identical whether cells were
+// simulated or served from a warm cache.
 package harness
 
 import (
@@ -20,35 +24,25 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/exp"
 	"repro/internal/micro"
 	"repro/internal/mvm"
-	"repro/internal/sched"
 	"repro/internal/stamp"
-	"repro/internal/tm"
-	"repro/internal/txlib"
 
 	// Engine packages self-register with the tm registry.
-	"repro/internal/core"
+	_ "repro/internal/core"
 	_ "repro/internal/sontm"
 	_ "repro/internal/twopl"
 )
 
 // Workload is the surface the microbenchmarks and STAMP kernels expose;
-// they satisfy it structurally.
-type Workload interface {
-	Name() string
-	Setup(m *txlib.Mem, threads int)
-	Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig)
-	Validate(m *txlib.Mem) string
-}
+// they satisfy it structurally. It is defined by the cell layer
+// (internal/exp) and aliased here for the workload registry.
+type Workload = exp.Workload
 
 // Scalable is implemented by workloads whose input sizes can be grown
 // toward the paper's scale (Options.Scale).
-type Scalable interface {
-	Scale(factor int)
-}
+type Scalable = exp.Scalable
 
 // EngineKind names a TM implementation in the tm engine registry.
 type EngineKind = string
@@ -74,12 +68,18 @@ type Options struct {
 	// depend on the worker count.
 	Workers int
 	// Progress, when non-nil, receives a callback after each completed
-	// plan cell (completion order, serialised).
+	// plan cell (completion order, serialised), including whether the
+	// cell was served from the result cache.
 	Progress func(exp.Progress)
 	// Only restricts figure sweeps to these workload names
 	// (case-insensitive); empty selects every workload of the figure.
 	// Validate names with WorkloadByName before building plans.
 	Only []string
+	// Cache, when non-nil, memoizes cell results across runs: cells
+	// whose content-address (cell coordinates + configuration + source
+	// fingerprints) is already stored are served without simulating.
+	// Figure bytes are identical either way.
+	Cache *exp.Cache
 	// NoBackoff replaces the tuned exponential backoff with a minimal
 	// constant (jittered, non-growing) delay — the §6.4 ablation
 	// ("without exponential backoff 2PL and CS show even higher abort
@@ -139,23 +139,41 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// engineOptions maps the harness knobs onto the registry's
-// representation-independent engine options.
-func (o Options) engineOptions() tm.EngineOptions {
-	return tm.EngineOptions{
+// cellConfig maps the harness knobs onto the cell layer's serializable
+// cell configuration — the part of Options that participates in cache
+// keys because it changes simulated results.
+func (o Options) cellConfig() exp.CellConfig {
+	return exp.CellConfig{
 		WordGranularity:   o.WordGranularity,
 		UnboundedVersions: o.UnboundedVersions,
 		DropOldest:        o.DropOldest,
 		NoCoalescing:      o.NoCoalescing,
 		NoXlate:           o.NoXlate,
-		ReferenceCache:    o.refCache,
-		ReferenceSets:     o.refSets,
+		NoBackoff:         o.NoBackoff,
+		Scale:             o.Scale,
+		MeasureMVM:        o.measureMVM,
+		RefSched:          o.refSched,
+		RefCache:          o.refCache,
+		RefSets:           o.refSets,
 	}
 }
 
 // runner returns the experiment runner configured by the options.
 func (o Options) runner() exp.Runner {
 	return exp.Runner{Workers: o.Workers, Progress: o.Progress}
+}
+
+// cellRunner assembles the cell layer's executor for these options: the
+// worker pool, the cell configuration, the workload registry and the
+// optional result cache.
+func (o Options) cellRunner() exp.CellRunner {
+	return exp.CellRunner{
+		Runner:   o.runner(),
+		Config:   o.cellConfig(),
+		Resolve:  WorkloadByName,
+		Cache:    o.Cache,
+		CellDone: o.CellDone,
+	}
 }
 
 // filterWorkloads restricts names to o.Only (case-insensitive), keeping
@@ -195,139 +213,34 @@ type Result struct {
 	ValidateMsg string
 }
 
-// cellStats is the raw measurement of one plan cell: a single-seed run of
-// one workload on one engine at one thread count.
-type cellStats struct {
-	workload    string
-	commits     float64
-	aborts      float64
-	rwAborts    float64
-	wwAborts    float64
-	otherAborts float64
-	makespan    float64
-	mvm         mvm.Stats
-	validateMsg string
-
-	// Filled only under Options.measureMVM (the §3.1–§3.3 report).
-	overheadPct float64
-	sharablePct float64
-	stalls      uint64
-}
-
-// backoffFor returns the retry policy. Every engine's software retry loop
-// uses the tuned exponential backoff (the RSTM retry loops the paper
-// builds on back off unconditionally); the paper additionally notes the
-// two eager mechanisms *depend* on it to avoid livelock (§6.4) — the
-// NoBackoff ablation shows that dependence.
-func backoffFor(o Options) tm.BackoffConfig {
-	if o.NoBackoff {
-		return tm.BackoffConfig{Enabled: true, Base: 32, MaxShift: 0}
-	}
-	return tm.DefaultBackoff()
-}
-
-// warmState is the per-worker state of a sweep, built once per experiment
-// worker and reused across all the cells that worker executes: the
-// resolved engine options and backoff policy, plus a cache scratch pool
-// that recycles the multi-megabyte simulated tag/stamp arrays between
-// consecutive cells. None of it affects measured results — cells stay
-// shared-nothing across workers and byte-identical at any worker count.
-type warmState struct {
-	eopts tm.EngineOptions
-	bo    tm.BackoffConfig
-}
-
-// warmFactory returns the per-worker warm-state constructor for o.
-func (o Options) warmFactory() func() warmState {
-	return func() warmState {
-		eopts := o.engineOptions()
-		eopts.CacheScratch = cache.NewScratch()
-		return warmState{eopts: eopts, bo: backoffFor(o)}
-	}
-}
-
-// releaser is the optional engine surface that returns pooled simulated
-// cache arrays to the worker's scratch once a cell is measured.
-type releaser interface{ ReleaseCaches() }
-
-// runCell executes one plan cell as an isolated simulation: a fresh
-// workload instance, a fresh engine from the registry and a fresh
-// deterministic machine, sharing nothing with concurrently running cells.
-// Only the warm state (scratch memory, resolved options) carries over
-// between the cells of one worker.
-func runCell(c exp.Cell, factory func() Workload, o Options, warm warmState) cellStats {
-	w := factory()
-	if s, ok := w.(Scalable); ok && o.Scale > 1 {
-		s.Scale(o.Scale)
-	}
-	e, err := tm.NewEngine(c.Engine, warm.eopts)
-	if err != nil {
-		panic(fmt.Sprintf("harness: %v", err))
-	}
-	m := txlib.NewMem(e)
-	w.Setup(m, c.Threads)
-	bo := warm.bo
-	s := sched.New(c.Threads, c.Seed)
-	body := func(th *sched.Thread) { w.Run(m, th, bo) }
-	if o.refSched {
-		s.Slow(body)
-	} else {
-		s.Run(body)
-	}
-
-	st := e.Stats()
-	cs := cellStats{
-		workload:    w.Name(),
-		commits:     float64(st.Commits),
-		aborts:      float64(st.TotalAborts()),
-		rwAborts:    float64(st.Aborts[tm.AbortReadWrite]),
-		wwAborts:    float64(st.Aborts[tm.AbortWriteWrite]),
-		otherAborts: float64(st.Aborts[tm.AbortOrder] + st.Aborts[tm.AbortCapacity] + st.Aborts[tm.AbortSkew]),
-		makespan:    float64(s.Makespan()),
-		validateMsg: w.Validate(m),
-	}
-	if si, ok := e.(*core.Engine); ok {
-		cs.mvm = si.MVM().Stats()
-		if o.measureMVM {
-			cs.overheadPct = si.MVM().MeasureOverheads(1).OverheadPct
-			cs.sharablePct = si.MVM().MeasureDedup().SharablePct()
-			cs.stalls = st.Stalls
-		}
-	}
-	if r, ok := e.(releaser); ok {
-		r.ReleaseCaches()
-	}
-	if o.CellDone != nil {
-		o.CellDone(c, s.Makespan())
-	}
-	return cs
-}
-
-// aggregate folds the per-seed cell measurements of one sweep point into
-// a seed-averaged Result.
-func aggregate(engine EngineKind, threads int, cells []cellStats) Result {
+// aggregate folds the per-seed cell records of one sweep point into a
+// seed-averaged Result. It is a pure function of serialized cell
+// results: the floats it averages come from exact integer counters, so a
+// record loaded from the cache aggregates byte-identically to one just
+// simulated.
+func aggregate(engine EngineKind, threads int, cells []exp.CellResult) Result {
 	agg := Result{Engine: engine, Threads: threads}
 	for _, c := range cells {
-		agg.Workload = c.workload
-		agg.Commits += c.commits
-		agg.Aborts += c.aborts
-		agg.RWAborts += c.rwAborts
-		agg.WWAborts += c.wwAborts
-		agg.OtherAborts += c.otherAborts
-		agg.Makespan += c.makespan
-		if c.validateMsg != "" && agg.ValidateMsg == "" {
-			agg.ValidateMsg = c.validateMsg
+		agg.Workload = c.Workload
+		agg.Commits += float64(c.Commits)
+		agg.Aborts += float64(c.Aborts)
+		agg.RWAborts += float64(c.RWAborts)
+		agg.WWAborts += float64(c.WWAborts)
+		agg.OtherAborts += float64(c.OtherAborts)
+		agg.Makespan += float64(c.SimCycles)
+		if c.ValidateMsg != "" && agg.ValidateMsg == "" {
+			agg.ValidateMsg = c.ValidateMsg
 		}
-		agg.MVM.AccessTail += c.mvm.AccessTail
-		for i := range c.mvm.AccessDepth {
-			agg.MVM.AccessDepth[i] += c.mvm.AccessDepth[i]
+		agg.MVM.AccessTail += c.MVM.AccessTail
+		for i := range c.MVM.AccessDepth {
+			agg.MVM.AccessDepth[i] += c.MVM.AccessDepth[i]
 		}
-		agg.MVM.Coalesced += c.mvm.Coalesced
-		agg.MVM.Installs += c.mvm.Installs
-		agg.MVM.GCReclaimed += c.mvm.GCReclaimed
-		agg.MVM.DroppedOld += c.mvm.DroppedOld
-		if c.mvm.PeakVersions > agg.MVM.PeakVersions {
-			agg.MVM.PeakVersions = c.mvm.PeakVersions
+		agg.MVM.Coalesced += c.MVM.Coalesced
+		agg.MVM.Installs += c.MVM.Installs
+		agg.MVM.GCReclaimed += c.MVM.GCReclaimed
+		agg.MVM.DroppedOld += c.MVM.DroppedOld
+		if c.MVM.PeakVersions > agg.MVM.PeakVersions {
+			agg.MVM.PeakVersions = c.MVM.PeakVersions
 		}
 	}
 	n := float64(len(cells))
@@ -348,7 +261,8 @@ func aggregate(engine EngineKind, threads int, cells []cellStats) Result {
 
 // Run executes workload (built fresh per seed by factory) on the named
 // engine with the given thread count and returns seed-averaged results.
-// The per-seed cells run on the options' worker pool.
+// The per-seed cells run on the options' worker pool (and through the
+// options' result cache, when configured).
 func Run(kind EngineKind, factory func() Workload, threads int, o Options) Result {
 	o = o.withDefaults()
 	name := factory().Name()
@@ -356,9 +270,12 @@ func Run(kind EngineKind, factory func() Workload, threads int, o Options) Resul
 	for _, seed := range o.Seeds {
 		plan = append(plan, exp.Cell{Workload: name, Engine: kind, Threads: threads, Seed: seed})
 	}
-	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, w warmState) cellStats {
-		return runCell(c, factory, o, w)
-	})
+	cr := o.cellRunner()
+	cr.Resolve = func(string) (func() Workload, error) { return factory, nil }
+	rs, err := cr.Run(plan)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
 	return aggregate(kind, threads, exp.Values(rs))
 }
 
@@ -369,32 +286,33 @@ type sweepKey struct {
 	Threads  int
 }
 
+// aggregateSweep folds plan-ordered cell results — produced by a plan
+// built with exp.Cross over o.Seeds innermost — into seed-averaged
+// results keyed by sweep point. It is the pure aggregation half of a
+// sweep: it touches no simulator, only serializable cell records.
+func aggregateSweep(rs []exp.Result[exp.CellResult], nSeeds int) map[sweepKey]Result {
+	out := make(map[sweepKey]Result, len(rs)/nSeeds)
+	for i := 0; i < len(rs); i += nSeeds {
+		cells := exp.Values(rs[i : i+nSeeds])
+		c := rs[i].Cell
+		out[sweepKey{Workload: c.Workload, Engine: c.Engine, Threads: c.Threads}] =
+			aggregate(c.Engine, c.Threads, cells)
+	}
+	return out
+}
+
 // sweep runs the full workloads × engines × threads × seeds cross-product
 // as ONE experiment plan — so the worker pool parallelises across the
 // whole sweep — and returns the seed-averaged results keyed by sweep
 // point. Workload names must exist in the registry.
 func sweep(workloads []string, engines []EngineKind, threads []int, o Options) (map[sweepKey]Result, error) {
 	o = o.withDefaults()
-	factories := make(map[string]func() Workload, len(workloads))
-	for _, name := range workloads {
-		f, err := WorkloadByName(name)
-		if err != nil {
-			return nil, err
-		}
-		factories[name] = f
-	}
 	plan := exp.Cross(workloads, engines, threads, o.Seeds)
-	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, w warmState) cellStats {
-		return runCell(c, factories[c.Workload], o, w)
-	})
-	out := make(map[sweepKey]Result, len(rs)/len(o.Seeds))
-	for i := 0; i < len(rs); i += len(o.Seeds) {
-		cells := exp.Values(rs[i : i+len(o.Seeds)])
-		c := rs[i].Cell
-		out[sweepKey{Workload: c.Workload, Engine: c.Engine, Threads: c.Threads}] =
-			aggregate(c.Engine, c.Threads, cells)
+	rs, err := o.cellRunner().Run(plan)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return aggregateSweep(rs, len(o.Seeds)), nil
 }
 
 // mustSweep is sweep for callers whose workload names come from the

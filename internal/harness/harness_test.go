@@ -42,7 +42,7 @@ func TestRunSeedAveragingIsDeterministic(t *testing.T) {
 func TestEngineKindsConstructAndName(t *testing.T) {
 	names := map[EngineKind]string{TwoPL: "2PL", SONTM: "SONTM", SITM: "SI-TM", SSITM: "SSI-TM"}
 	for kind, want := range names {
-		e, err := tm.NewEngine(kind, quickOpts().engineOptions())
+		e, err := tm.NewEngine(kind, tm.EngineOptions{})
 		if err != nil {
 			t.Fatalf("engine %q not registered: %v", kind, err)
 		}
@@ -50,7 +50,7 @@ func TestEngineKindsConstructAndName(t *testing.T) {
 			t.Errorf("%v engine name = %q, want %q", kind, e.Name(), want)
 		}
 	}
-	if _, err := tm.NewEngine("nosuch", quickOpts().engineOptions()); err == nil {
+	if _, err := tm.NewEngine("nosuch", tm.EngineOptions{}); err == nil {
 		t.Fatal("unknown engine must error")
 	}
 }

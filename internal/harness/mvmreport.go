@@ -26,39 +26,49 @@ type MVMRow struct {
 // coalescing collapses versions, how much the write-driven GC reclaims,
 // the deepest version list, the indirection storage overhead, and the
 // deduplication opportunity of the indirection layer. The cells run on
-// the options' worker pool (one isolated simulation per workload).
+// the options' worker pool (one isolated simulation per workload) and
+// through the options' result cache when configured; rendering is a pure
+// function of the returned cell records (renderMVMReport).
 func MVMReport(w io.Writer, threads int, o Options) []MVMRow {
 	if len(o.Seeds) == 0 {
 		o.Seeds = []uint64{1}
 	}
 	o.measureMVM = true
-	names := o.filterWorkloads(registryNames())
-	plan := exp.Cross(names, []EngineKind{SITM}, []int{threads}, o.Seeds[:1])
-	rs := exp.RunWarm(o.runner(), plan, o.warmFactory(), func(_ int, c exp.Cell, warm warmState) cellStats {
-		f, err := WorkloadByName(c.Workload)
-		if err != nil {
-			panic(fmt.Sprintf("harness: %v", err))
-		}
-		return runCell(c, f, o, warm)
-	})
+	plan := mvmPlan(threads, o)
+	rs, err := o.cellRunner().Run(plan)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	return renderMVMReport(w, threads, o.Seeds[0], rs)
+}
 
-	fmt.Fprintf(w, "MVM behaviour under SI-TM (%d threads, seed %d)\n", threads, o.Seeds[0])
+// mvmPlan builds the MVM report's plan: every selected workload on SI-TM
+// at one thread count, first seed only.
+func mvmPlan(threads int, o Options) exp.Plan {
+	names := o.filterWorkloads(registryNames())
+	return exp.Cross(names, []EngineKind{SITM}, []int{threads}, o.Seeds[:1])
+}
+
+// renderMVMReport renders the §3 table from plan-ordered cell records —
+// no simulator calls, so it renders identically from a warm cache.
+func renderMVMReport(w io.Writer, threads int, seed uint64, rs []exp.Result[exp.CellResult]) []MVMRow {
+	fmt.Fprintf(w, "MVM behaviour under SI-TM (%d threads, seed %d)\n", threads, seed)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tinstalls\tcoalesced %\tgc reclaimed\tpeak versions\toverhead %\tsharable %\tstalls")
 	var out []MVMRow
 	for _, r := range rs {
 		cs := r.Value
 		row := MVMRow{
-			Workload:     cs.workload,
-			Installs:     cs.mvm.Installs,
-			GCReclaimed:  cs.mvm.GCReclaimed,
-			PeakVersions: cs.mvm.PeakVersions,
-			OverheadPct:  cs.overheadPct,
-			SharablePct:  cs.sharablePct,
-			Stalls:       cs.stalls,
+			Workload:     cs.Workload,
+			Installs:     cs.MVM.Installs,
+			GCReclaimed:  cs.MVM.GCReclaimed,
+			PeakVersions: cs.MVM.PeakVersions,
+			OverheadPct:  cs.OverheadPct,
+			SharablePct:  cs.SharablePct,
+			Stalls:       cs.Stalls,
 		}
-		if cs.mvm.Installs > 0 {
-			row.CoalescedPct = 100 * float64(cs.mvm.Coalesced) / float64(cs.mvm.Installs)
+		if cs.MVM.Installs > 0 {
+			row.CoalescedPct = 100 * float64(cs.MVM.Coalesced) / float64(cs.MVM.Installs)
 		}
 		out = append(out, row)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%d\t%d\t%.1f\t%.1f\t%d\n",

@@ -40,6 +40,18 @@ var ConcurrencyExemptPaths = map[string]bool{
 	"repro/internal/exp":   true,
 }
 
+// ServicePackagePaths are the service-layer packages where wall clocks,
+// goroutines, net/http and timers are the whole point — the sweep daemon
+// and the cell/cache orchestration around the simulator. detlint never
+// fires here (they are outside SimPackagePaths anyway; the explicit list
+// documents the boundary and keeps it test-pinned), so service code needs
+// no //sitm:allow noise. The line detlint holds is: nothing here may leak
+// into a simulated result except through a deterministic CellResult.
+var ServicePackagePaths = map[string]bool{
+	"repro/internal/exp":   true,
+	"repro/internal/sweep": true,
+}
+
 // wallClockFuncs are the package-level time functions that read or depend
 // on the host's wall clock or timers.
 var wallClockFuncs = map[string]bool{
@@ -76,6 +88,9 @@ keys instead, as internal/report's sortedKeys helper does.`,
 }
 
 func runDetLint(pass *Pass) error {
+	if ServicePackagePaths[pass.Pkg.Path()] {
+		return nil
+	}
 	if !SimPackagePaths[pass.Pkg.Path()] {
 		return nil
 	}

@@ -22,6 +22,46 @@ func TestDetLint(t *testing.T) {
 	analysistest.RunTest(t, analysistest.Testdata(), lint.DetLint, "detsim", "detsched")
 }
 
+// TestDetLintServiceExemption pins the service-layer boundary: the
+// sweep daemon and the cell orchestration layer may use wall clocks,
+// goroutines and net/http without //sitm:allow noise, and the exemption
+// wins even if a path is ever listed on both sides.
+func TestDetLintServiceExemption(t *testing.T) {
+	for _, path := range []string{"repro/internal/exp", "repro/internal/sweep"} {
+		if !lint.ServicePackagePaths[path] {
+			t.Errorf("%s must be a service package", path)
+		}
+	}
+	for path := range lint.ServicePackagePaths {
+		if lint.SimPackagePaths[path] {
+			t.Errorf("%s is listed as both a simulation and a service package; detlint would silently skip it", path)
+		}
+	}
+	// A package registered on both sides produces no findings: the
+	// service exemption is checked first.
+	lint.SimPackagePaths["detsim"] = true
+	lint.ServicePackagePaths["detsim"] = true
+	t.Cleanup(func() {
+		delete(lint.SimPackagePaths, "detsim")
+		delete(lint.ServicePackagePaths, "detsim")
+	})
+	loader := lint.NewLoader()
+	if err := loader.AddTree(analysistest.Testdata()+"/src", ""); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load("detsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{lint.DetLint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("detlint fired inside a service package: %v", diags)
+	}
+}
+
 // TestDetLintIgnoresOtherPackages verifies the analyzer is scoped: the
 // same fixture produces no findings when its path is not registered as a
 // simulation package.

@@ -1,0 +1,538 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/harness"
+)
+
+// Config parameterises a sweep server.
+type Config struct {
+	// Cache is the shared content-addressed result store. Required; it is
+	// also the server's only persistent state (plan specs live under
+	// <dir>/plans), which is what makes restarts resumable.
+	Cache *exp.Cache
+	// Workers is the number of in-process executor goroutines. 0 means
+	// one per GOMAXPROCS; negative means none (external worker processes
+	// only, via /api/lease).
+	Workers int
+	// LeaseTTL bounds how long a worker may sit on a leased cell before
+	// another worker can steal it. 0 means 2 minutes.
+	LeaseTTL time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// jobState tracks one unique cell through the server.
+type jobState int
+
+const (
+	jobPending jobState = iota // queued, waiting for a worker
+	jobLeased                  // handed to a worker, lease running
+	jobDone                    // result in the cache
+	jobFailed                  // abandoned after maxJobFailures errors
+)
+
+// maxJobFailures bounds retries of a crashing cell before the plan is
+// marked failed instead of spinning forever.
+const maxJobFailures = 3
+
+// job is one unique cell (by cache key) shared by every plan that needs
+// it. Work-stealing is lazy: an expired lease makes the job takeable
+// again, there is no reaper goroutine.
+type job struct {
+	key      string
+	cell     exp.Cell
+	cfg      exp.CellConfig
+	state    jobState
+	worker   string
+	expires  time.Time
+	failures int
+	lastErr  string
+	plans    []*plan // plans still waiting on this job
+}
+
+// plan is one submitted spec and its progress counters.
+type plan struct {
+	id       string
+	spec     Spec
+	total    int
+	done     int
+	hits     int
+	computed int
+	failed   int
+	subs     []chan Event // progress streams; closed when the plan ends
+}
+
+func (p *plan) state() string {
+	if p.done < p.total {
+		return "running"
+	}
+	if p.failed > 0 {
+		return "failed"
+	}
+	return "done"
+}
+
+func (p *plan) status() Status {
+	return Status{
+		ID: p.id, State: p.state(),
+		Total: p.total, Done: p.done,
+		Hits: p.hits, Computed: p.computed, Failed: p.failed,
+		Spec: p.spec,
+	}
+}
+
+// Server accepts sweep plans, schedules their cells as deduplicated jobs
+// and serves figures from the shared cache. All coordination state is in
+// memory; everything needed to resume — cell results and plan specs —
+// lives in the cache directory.
+type Server struct {
+	cache    *exp.Cache
+	plansDir string
+	workers  int
+	leaseTTL time.Duration
+	logf     func(string, ...any)
+	prov     exp.Provenance
+
+	mu        sync.Mutex
+	plans     map[string]*plan
+	planOrder []string
+	jobs      map[string]*job // by cache key; shared across plans
+	queue     []*job          // jobs not yet done, in submit order
+	seq       int
+
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a server over cfg.Cache and resumes any plans persisted
+// under its directory from an earlier run: cells already in the cache
+// count as done immediately, the rest are re-queued. It refuses to start
+// without usable code provenance — a sweep server whose results could
+// masquerade as another tree's is worse than no server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Cache == nil {
+		return nil, fmt.Errorf("sweep: Config.Cache is required")
+	}
+	prov := exp.CurrentProvenance()
+	if !prov.CanCache() {
+		return nil, fmt.Errorf("sweep: no usable code provenance (running outside the source checkout?); refusing to serve cacheable results")
+	}
+	s := &Server{
+		cache:    cfg.Cache,
+		plansDir: filepath.Join(cfg.Cache.Dir(), "plans"),
+		workers:  cfg.Workers,
+		leaseTTL: cfg.LeaseTTL,
+		logf:     cfg.Logf,
+		prov:     prov,
+		plans:    make(map[string]*plan),
+		jobs:     make(map[string]*job),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+	}
+	if s.leaseTTL <= 0 {
+		s.leaseTTL = 2 * time.Minute
+	}
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(s.plansDir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if err := s.loadPersistedPlans(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Start launches the in-process executors. Safe to skip entirely when
+// only external workers will drive the queue.
+func (s *Server) Start() {
+	n := s.workers
+	if n == 0 {
+		n = defaultWorkers()
+	}
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go s.executor(fmt.Sprintf("local-%d", i))
+	}
+}
+
+// Close stops the executors and closes every progress stream. Leased
+// cells finish writing to the cache but are not waited for beyond the
+// current cell. Idempotent.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.plans {
+		for _, ch := range p.subs {
+			close(ch)
+		}
+		p.subs = nil
+	}
+}
+
+// loadPersistedPlans re-submits every plan spec stored under plansDir.
+// Submission recomputes each cell's key against the *current* provenance,
+// so a resume after a code edit transparently recomputes exactly the
+// invalidated cells.
+func (s *Server) loadPersistedPlans() error {
+	entries, err := os.ReadDir(s.plansDir)
+	if err != nil {
+		return fmt.Errorf("sweep: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+		}
+	}
+	sort.Strings(names)
+	for _, id := range names {
+		data, err := os.ReadFile(filepath.Join(s.plansDir, id+".json"))
+		if err != nil {
+			s.logf("sweep: skipping persisted plan %s: %v", id, err)
+			continue
+		}
+		var spec Spec
+		if err := json.Unmarshal(data, &spec); err != nil {
+			s.logf("sweep: skipping corrupt persisted plan %s: %v", id, err)
+			continue
+		}
+		// Keep the sequence counter ahead of resumed IDs ("p007-...").
+		if n, err := strconv.Atoi(strings.TrimPrefix(strings.SplitN(id, "-", 2)[0], "p")); err == nil && n > s.seq {
+			s.seq = n
+		}
+		if _, err := s.submit(spec, id, false); err != nil {
+			s.logf("sweep: skipping persisted plan %s: %v", id, err)
+			continue
+		}
+		s.logf("sweep: resumed plan %s", id)
+	}
+	return nil
+}
+
+// submit registers a plan: expands its figures into cells, deduplicates
+// them by cache key against every job the server already knows, counts
+// cached cells as immediately done and queues the rest.
+func (s *Server) submit(spec Spec, id string, persist bool) (Status, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return Status{}, err
+	}
+	o := spec.options()
+	var fps []harness.FigurePlan
+	for _, f := range spec.Figures {
+		fp, err := harness.PlanFigure(f, spec.Threads, o)
+		if err != nil {
+			return Status{}, err
+		}
+		fps = append(fps, fp)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if id == "" {
+		s.seq++
+		id = fmt.Sprintf("p%03d-%s", s.seq, spec.hash()[:12])
+	}
+	if _, ok := s.plans[id]; ok {
+		return Status{}, fmt.Errorf("sweep: duplicate plan id %s", id)
+	}
+	p := &plan{id: id, spec: spec}
+	seen := make(map[string]bool)
+	queued := 0
+	for _, fp := range fps {
+		for _, c := range fp.Plan {
+			key := s.prov.CellKey(c, fp.Config)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			p.total++
+			j, ok := s.jobs[key]
+			if !ok {
+				j = &job{key: key, cell: c, cfg: fp.Config}
+				if s.cache.Contains(key) {
+					j.state = jobDone
+				}
+				s.jobs[key] = j
+				if j.state != jobDone {
+					s.queue = append(s.queue, j)
+					queued++
+				}
+			}
+			switch j.state {
+			case jobDone:
+				p.done++
+				p.hits++
+			case jobFailed:
+				p.done++
+				p.failed++
+			default:
+				j.plans = append(j.plans, p)
+			}
+		}
+	}
+	s.plans[id] = p
+	s.planOrder = append(s.planOrder, id)
+	if persist {
+		if err := s.persistPlan(p); err != nil {
+			s.logf("sweep: persisting plan %s: %v", id, err)
+		}
+	}
+	if queued > 0 {
+		select {
+		case s.wake <- struct{}{}:
+		default:
+		}
+	}
+	s.logf("sweep: plan %s: %d cells (%d cached, %d queued)", id, p.total, p.hits, queued)
+	return p.status(), nil
+}
+
+// persistPlan writes the plan spec next to the cache so a restarted
+// server can resubmit it. Atomic like cache blobs.
+func (s *Server) persistPlan(p *plan) error {
+	data, err := json.MarshalIndent(p.spec, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.plansDir, p.id+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.plansDir, p.id+".json"))
+}
+
+// take leases the next available job to a worker: pending jobs first,
+// then jobs whose lease has expired (the holder is presumed dead — this
+// is the work-stealing path). Returns nil when nothing is takeable.
+func (s *Server) take(worker string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := time.Now()
+	live := s.queue[:0]
+	var got *job
+	for _, j := range s.queue {
+		if j.state == jobDone || j.state == jobFailed {
+			continue // drop finished jobs from the queue lazily
+		}
+		live = append(live, j)
+		if got != nil {
+			continue
+		}
+		if j.state == jobPending || (j.state == jobLeased && now.After(j.expires)) {
+			if j.state == jobLeased {
+				s.logf("sweep: stealing %s from worker %s (lease expired)", j.cell, j.worker)
+			}
+			j.state = jobLeased
+			j.worker = worker
+			j.expires = now.Add(s.leaseTTL)
+			got = j
+		}
+	}
+	s.queue = live
+	return got
+}
+
+// finish marks a job's result present in the cache and advances every
+// plan waiting on it. Double-completes (a stolen job finishing twice)
+// are harmless no-ops.
+func (s *Server) finish(key string, cached bool) {
+	s.complete(key, cached, false, "")
+}
+
+// fail records one failed attempt; after maxJobFailures the job is
+// abandoned and its plans marked failed.
+func (s *Server) fail(key, errMsg string) {
+	s.mu.Lock()
+	j := s.jobs[key]
+	if j == nil || j.state == jobDone || j.state == jobFailed {
+		s.mu.Unlock()
+		return
+	}
+	j.failures++
+	j.lastErr = errMsg
+	if j.failures < maxJobFailures {
+		j.state = jobPending // retry (possibly on another worker)
+		s.mu.Unlock()
+		s.wakeWorkers()
+		return
+	}
+	s.mu.Unlock()
+	s.logf("sweep: abandoning %s after %d failures: %s", j.cell, j.failures, errMsg)
+	s.complete(key, false, true, errMsg)
+}
+
+// complete is the shared terminal transition for finish and fail.
+func (s *Server) complete(key string, cached, failed bool, errMsg string) {
+	s.mu.Lock()
+	j := s.jobs[key]
+	if j == nil || j.state == jobDone || j.state == jobFailed {
+		s.mu.Unlock()
+		return
+	}
+	if failed {
+		j.state = jobFailed
+		j.lastErr = errMsg
+	} else {
+		j.state = jobDone
+	}
+	waiting := j.plans
+	j.plans = nil
+	var toClose []chan Event
+	for _, p := range waiting {
+		p.done++
+		switch {
+		case failed:
+			p.failed++
+		case cached:
+			p.hits++
+		default:
+			p.computed++
+		}
+		e := Event{
+			Plan: p.id, Cell: j.cell.String(), Cached: cached, Failed: failed,
+			Done: p.done, Total: p.total, State: p.state(),
+		}
+		for _, ch := range p.subs {
+			select {
+			case ch <- e:
+			default: // a stalled stream never blocks the sweep
+			}
+		}
+		if p.done >= p.total {
+			toClose = append(toClose, p.subs...)
+			p.subs = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, ch := range toClose {
+		close(ch)
+	}
+}
+
+// wakeWorkers nudges one idle executor without blocking.
+func (s *Server) wakeWorkers() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// executor is one in-process worker goroutine: lease, compute, store,
+// complete, repeat. It shares the lease protocol with external workers
+// so stealing works uniformly across both.
+func (s *Server) executor(name string) {
+	defer s.wg.Done()
+	for {
+		j := s.take(name)
+		if j == nil {
+			select {
+			case <-s.stop:
+				return
+			case <-s.wake:
+			case <-time.After(s.leaseTTL / 4):
+			}
+			continue
+		}
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		s.runJob(j)
+		s.wakeWorkers() // more queue may be takeable
+	}
+}
+
+// runJob executes one leased job against the shared cache.
+func (s *Server) runJob(j *job) {
+	if s.cache.Contains(j.key) { // another worker raced us to it
+		s.finish(j.key, true)
+		return
+	}
+	res, err := ComputeCell(j.cell, j.cfg, s.prov)
+	if err != nil {
+		s.fail(j.key, err.Error())
+		return
+	}
+	if err := s.cache.Put(j.key, res); err != nil {
+		s.fail(j.key, err.Error())
+		return
+	}
+	s.finish(j.key, false)
+}
+
+// ComputeCell executes one cell through the harness workload registry and
+// stamps it with prov. Panics from the simulator (unknown engine,
+// workload invariant violations) surface as errors so a bad cell fails
+// its job instead of killing the process.
+func ComputeCell(c exp.Cell, cfg exp.CellConfig, prov exp.Provenance) (res exp.CellResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cell %s: panic: %v", c, r)
+		}
+	}()
+	factory, err := harness.WorkloadByName(c.Workload)
+	if err != nil {
+		return res, err
+	}
+	res = exp.ExecuteCell(c, cfg, factory, exp.NewWarmState(cfg))
+	res.GitRevision = prov.GitRevision
+	res.GoVersion = prov.GoVersion
+	return res, nil
+}
+
+// statuses snapshots every plan in submit order.
+func (s *Server) statuses() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.planOrder))
+	for _, id := range s.planOrder {
+		out = append(out, s.plans[id].status())
+	}
+	return out
+}
+
+// subscribe attaches a progress stream to a plan. The returned channel
+// closes when the plan completes; ok=false means no such plan. done
+// reports whether the plan is already complete (channel arrives closed).
+func (s *Server) subscribe(id string) (ch chan Event, snapshot Status, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, found := s.plans[id]
+	if !found {
+		return nil, Status{}, false
+	}
+	ch = make(chan Event, 64)
+	if p.done >= p.total {
+		close(ch)
+	} else {
+		p.subs = append(p.subs, ch)
+	}
+	return ch, p.status(), true
+}

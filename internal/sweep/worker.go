@@ -1,0 +1,172 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// Worker is an external worker process's client side of the lease
+// protocol: poll the server for a cell, simulate it, store the result in
+// the shared cache directory, report completion. Workers are stateless —
+// kill one mid-cell and the server's lease expiry hands the cell to
+// someone else.
+type Worker struct {
+	// Server is the daemon's base URL, e.g. "http://127.0.0.1:8347".
+	Server string
+	// Cache is the shared result store; must point at the same directory
+	// the server uses.
+	Cache *exp.Cache
+	// Name identifies this worker in leases and server logs.
+	Name string
+	// Poll is the idle backoff between lease attempts when the queue is
+	// drained. 0 means 200ms.
+	Poll time.Duration
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+	// Client overrides the HTTP client (tests); nil means a default with
+	// no timeout (event-free request/response calls only).
+	Client *http.Client
+}
+
+// maxLeaseErrors bounds consecutive transport failures before Run gives
+// up — a dead server should stop the worker, not spin it.
+const maxLeaseErrors = 30
+
+// Run polls for cells until ctx is cancelled or the server goes away.
+// Before computing anything it recomputes each leased cell's cache key
+// from this process's own sources and refuses on mismatch: a worker
+// built from a different tree must never write under the server's keys.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Cache == nil {
+		return fmt.Errorf("sweep: Worker.Cache is required")
+	}
+	logf := w.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	prov := exp.CurrentProvenance()
+	errors := 0
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		lease, ok, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			errors++
+			if errors >= maxLeaseErrors {
+				return fmt.Errorf("sweep: giving up after %d consecutive lease errors: %w", errors, err)
+			}
+			sleepCtx(ctx, poll)
+			continue
+		}
+		errors = 0
+		if !ok {
+			sleepCtx(ctx, poll)
+			continue
+		}
+		if key := prov.CellKey(lease.Cell, lease.Config); key != lease.Key {
+			// Provenance skew: this worker's sources differ from the
+			// server's. Writing under the server's key would poison the
+			// cache with results of different code.
+			msg := fmt.Sprintf("worker %s provenance mismatch (key %s != %s): worker built from different sources", w.Name, key, lease.Key)
+			logf("sweep: %s", msg)
+			w.complete(ctx, completeRequest{Key: lease.Key, Worker: w.Name, Failed: true, Error: msg})
+			sleepCtx(ctx, poll)
+			continue
+		}
+		if w.Cache.Contains(lease.Key) {
+			w.complete(ctx, completeRequest{Key: lease.Key, Worker: w.Name, Cached: true})
+			continue
+		}
+		res, err := ComputeCell(lease.Cell, lease.Config, prov)
+		if err != nil {
+			logf("sweep: cell %s failed: %v", lease.Cell, err)
+			w.complete(ctx, completeRequest{Key: lease.Key, Worker: w.Name, Failed: true, Error: err.Error()})
+			continue
+		}
+		if err := w.Cache.Put(lease.Key, res); err != nil {
+			logf("sweep: storing %s: %v", lease.Cell, err)
+			w.complete(ctx, completeRequest{Key: lease.Key, Worker: w.Name, Failed: true, Error: err.Error()})
+			continue
+		}
+		logf("sweep: computed %s", lease.Cell)
+		w.complete(ctx, completeRequest{Key: lease.Key, Worker: w.Name})
+	}
+}
+
+// lease asks the server for one cell; ok=false means the queue is empty.
+func (w *Worker) lease(ctx context.Context) (leaseResponse, bool, error) {
+	var lr leaseResponse
+	body, status, err := w.post(ctx, "/api/lease", leaseRequest{Worker: w.Name})
+	if err != nil {
+		return lr, false, err
+	}
+	if status == http.StatusNoContent {
+		return lr, false, nil
+	}
+	if status != http.StatusOK {
+		return lr, false, fmt.Errorf("sweep: lease: server returned %d: %s", status, bytes.TrimSpace(body))
+	}
+	if err := json.Unmarshal(body, &lr); err != nil {
+		return lr, false, fmt.Errorf("sweep: lease: %w", err)
+	}
+	return lr, true, nil
+}
+
+// complete reports a leased cell's outcome; errors are logged by the
+// caller's next lease failure, not handled here — the lease TTL already
+// guarantees progress if a complete is lost.
+func (w *Worker) complete(ctx context.Context, req completeRequest) {
+	w.post(ctx, "/api/complete", req)
+}
+
+// post sends one JSON request to the server.
+func (w *Worker) post(ctx context.Context, path string, v any) ([]byte, int, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Server+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body, resp.StatusCode, nil
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

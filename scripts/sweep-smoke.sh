@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# sweep-smoke: end-to-end crash/resume exercise of the sweep daemon.
+#
+# Builds sitm-sweepd and sitm-bench, starts the daemon on a temp cache,
+# submits a small Figure 7 plan, kill -9s the daemon mid-plan, restarts
+# it on the same cache and verifies that:
+#   - the interrupted plan resumes and completes from the cache,
+#   - resubmitting the plan is served >= 90% from the cache,
+#   - the figure bytes are identical across the resubmit AND identical
+#     to a local sitm-bench render of the same cells.
+set -euo pipefail
+
+workdir="$(mktemp -d)"
+cache="$workdir/cache"
+addr="127.0.0.1:${SWEEP_SMOKE_PORT:-18473}"
+base="http://$addr"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+say() { echo "sweep-smoke: $*"; }
+
+say "building binaries"
+go build -o "$workdir/sitm-sweepd" ./cmd/sitm-sweepd
+go build -o "$workdir/sitm-bench" ./cmd/sitm-bench
+
+start_daemon() {
+  "$workdir/sitm-sweepd" -cache-dir "$cache" -addr "$addr" -workers 2 \
+    >>"$workdir/sweepd.log" 2>&1 &
+  pid=$!
+  disown "$pid" 2>/dev/null || true # silence job-control noise on kill -9
+  for _ in $(seq 1 50); do
+    curl -fsS "$base/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  say "daemon did not come up"; cat "$workdir/sweepd.log"; exit 1
+}
+
+plan_status() { curl -fsS "$base/api/plans/$1"; }
+
+wait_done() {
+  local id="$1" tries="${2:-600}"
+  for _ in $(seq 1 "$tries"); do
+    local state
+    state="$(plan_status "$id" | jq -r .state)"
+    [ "$state" = done ] && return 0
+    [ "$state" = failed ] && { say "plan $id failed"; plan_status "$id"; exit 1; }
+    sleep 0.2
+  done
+  say "plan $id did not finish"; plan_status "$id"; exit 1
+}
+
+spec='{"figures":["figure7"],"workloads":["List"],"seeds":[1]}'
+
+say "starting daemon on $base (cache $cache)"
+start_daemon
+
+say "submitting plan"
+submit="$(curl -fsS -X POST "$base/api/plans" -d "$spec")"
+id="$(echo "$submit" | jq -r .id)"
+total="$(echo "$submit" | jq -r .total)"
+say "plan $id: $total cells"
+
+# Let it make some progress, then kill it the hard way.
+for _ in $(seq 1 200); do
+  done_cells="$(plan_status "$id" | jq -r .done)"
+  [ "$done_cells" -ge 1 ] && break
+  sleep 0.1
+done
+say "kill -9 mid-plan (done=$done_cells/$total)"
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+say "restarting daemon on the same cache"
+start_daemon
+wait_done "$id"
+resumed="$(plan_status "$id")"
+say "resumed plan completed: $(echo "$resumed" | jq -c '{done,hits,computed}')"
+[ "$(echo "$resumed" | jq -r .done)" = "$total" ] || { say "resume incomplete"; exit 1; }
+
+curl -fsS "$base/api/plans/$id/figures/figure7" > "$workdir/fig7_first.txt"
+
+say "resubmitting the identical plan"
+again="$(curl -fsS -X POST "$base/api/plans" -d "$spec")"
+id2="$(echo "$again" | jq -r .id)"
+wait_done "$id2"
+st2="$(plan_status "$id2")"
+hits2="$(echo "$st2" | jq -r .hits)"
+say "resubmit served $hits2/$total from cache"
+if [ $((hits2 * 10)) -lt $((total * 9)) ]; then
+  say "FAIL: resubmit served fewer than 90% of cells from cache"; exit 1
+fi
+
+curl -fsS "$base/api/plans/$id2/figures/figure7" > "$workdir/fig7_second.txt"
+cmp "$workdir/fig7_first.txt" "$workdir/fig7_second.txt" \
+  || { say "FAIL: figure bytes differ across resubmit"; exit 1; }
+
+say "comparing against a local sitm-bench render"
+"$workdir/sitm-bench" -fig 7 -workload List -seeds 1 -cache-dir "$cache" \
+  > "$workdir/fig7_cli_raw.txt" 2>"$workdir/bench.log"
+# The CLI prints a blank separator line after each section; the server
+# serves the bare canonical figure bytes.
+sed -e '${/^$/d}' "$workdir/fig7_cli_raw.txt" > "$workdir/fig7_cli.txt"
+cmp "$workdir/fig7_first.txt" "$workdir/fig7_cli.txt" \
+  || { say "FAIL: server figure differs from sitm-bench"; diff "$workdir/fig7_first.txt" "$workdir/fig7_cli.txt" || true; exit 1; }
+grep -q "served warm" "$workdir/bench.log" && say "bench: $(grep 'served warm' "$workdir/bench.log")"
+
+say "PASS: resume + cache + byte-identity all hold"
