@@ -45,6 +45,14 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate the engine name up front, before any tracing runs: the
+	// registry error lists every registered engine, like WorkloadByName
+	// does for workloads.
+	if _, err := tm.NewEngine(*engine, tm.EngineOptions{}); err != nil {
+		fmt.Fprintf(os.Stderr, "skewcheck: %v\n", err)
+		os.Exit(2)
+	}
+
 	var firstRec *skew.Recorder
 	run := func(promote *skew.Report) (*skew.Report, string) {
 		e, err := tm.NewEngine(*engine, tm.EngineOptions{})

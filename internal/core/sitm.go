@@ -112,6 +112,20 @@ type Engine struct {
 	readers    aset.LineMap[aset.Readers[*txn]]
 	liveReader func(*txn, uint64) bool
 
+	// lastWriter tracks, per line, the most recent committed writer
+	// (Serializable only; epoch-stamped like reader records). It serves
+	// the read-side half of the dangerous-structure rule: a reader that
+	// observes an overwritten line creates the rw edge reader->writer
+	// *after* the writer committed, where ssiWriterCheck can no longer
+	// see it. Without this table the structure T2 -rw-> T1 -rw-> T0
+	// completed by T2's read of T1's overwrite goes undetected and the
+	// read-only anomaly (Fekete et al.) commits — found by model
+	// checking the read-only litmus, see DESIGN.md "Model checking".
+	// Records are never swept: a record whose writer's end precedes
+	// every active snapshot simply fails the concurrency test, and
+	// recycling bumps the epoch exactly as for reader records.
+	lastWriter aset.LineMap[writerRec]
+
 	// slow holds the reference map-based implementation state (slow.go),
 	// nil unless cfg.ReferenceSets.
 	slow *slowState
@@ -254,10 +268,14 @@ func (e *Engine) AuditAccessSets() error {
 
 // NonTxRead implements tm.Engine: non-transactional reads return the most
 // current version (§3).
+//
+//sitm:allow(yieldlint) workload setup/verification API, called before threads start or after they quiesce
 func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.mem.NonTxReadWord(a) }
 
 // NonTxWrite implements tm.Engine: non-transactional writes modify the
 // most current version in place (§3).
+//
+//sitm:allow(yieldlint) workload setup/verification API, called before threads start or after they quiesce
 func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.mem.NonTxWriteWord(a, v) }
 
 // installRec remembers an optimistic install for rollback.
@@ -319,6 +337,14 @@ type txn struct {
 }
 
 var _ tm.Txn = (*txn)(nil)
+
+// writerRec is an epoch-stamped committed-writer record (see
+// Engine.lastWriter); a mismatched epoch means the object was recycled
+// and the record is dead, exactly as for reader records.
+type writerRec struct {
+	tx    *txn
+	epoch uint64
+}
 
 // Begin implements tm.Engine. It stalls while any commit is in flight —
 // the software rendering of the paper's starter stall (§4.2) — then takes
@@ -469,7 +495,11 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 
 // trackRead registers this transaction as a visible reader of line for
 // SSI-TM's rw-antidependency detection. Reading a line that a concurrent
-// transaction has already overwritten records an outgoing edge.
+// transaction has already overwritten records an outgoing edge — and, if
+// that overwrite came from a committed transaction that itself has an
+// outgoing edge, completes a dangerous structure around a committed
+// pivot, which only this reader can break by aborting (§5.2; the
+// read-side dual of ssiWriterCheck's committed-pivot rule).
 func (x *txn) trackRead(line mem.Line) {
 	x.checkDoom(line)
 	if x.reads.Add(line) {
@@ -481,6 +511,15 @@ func (x *txn) trackRead(line mem.Line) {
 		x.outFlag = true
 		if x.inFlag {
 			x.abortInternal(tm.AbortSkew, line)
+		}
+		if rec, ok := x.e.lastWriter.Get(line); ok {
+			w := rec.tx
+			if w != x && w.epoch == rec.epoch && w.committed && w.end > x.start {
+				w.inFlag = true
+				if w.outFlag {
+					x.abortInternal(tm.AbortSkew, line)
+				}
+			}
 		}
 	}
 }
@@ -657,6 +696,13 @@ func (x *txn) Commit() error {
 	if x.e.cfg.Serializable {
 		if err := x.ssiWriterCheck(end); err != nil {
 			return err
+		}
+		// Record this commit as the newest writer of its lines so later
+		// readers of the overwritten versions can apply the read-side
+		// committed-pivot rule (see trackRead).
+		for _, line := range x.writes.Lines() {
+			rec, _ := x.e.lastWriter.Put(line)
+			rec.tx, rec.epoch = x, x.epoch
 		}
 	}
 

@@ -25,12 +25,17 @@ import (
 type slowState struct {
 	lastTxn map[int]*slowTxn
 	readers map[mem.Line]map[*slowTxn]struct{}
+	// writers maps each line to its most recent committed writer, for
+	// the read-side committed-pivot rule (see trackRead); the fast
+	// path's epoch-stamped Engine.lastWriter table mirrors it.
+	writers map[mem.Line]*slowTxn
 }
 
 func newSlowState(serializable bool) *slowState {
 	s := &slowState{lastTxn: make(map[int]*slowTxn)}
 	if serializable {
 		s.readers = make(map[mem.Line]map[*slowTxn]struct{})
+		s.writers = make(map[mem.Line]*slowTxn)
 	}
 	return s
 }
@@ -224,7 +229,11 @@ func (x *slowTxn) Write(a mem.Addr, v uint64) {
 
 // trackRead registers this transaction as a visible reader of line for
 // SSI-TM's rw-antidependency detection. Reading a line that a concurrent
-// transaction has already overwritten records an outgoing edge.
+// transaction has already overwritten records an outgoing edge — and, if
+// that overwrite came from a committed transaction that itself has an
+// outgoing edge, completes a dangerous structure around a committed
+// pivot, which only this reader can break by aborting (§5.2; the
+// read-side dual of ssiWriterCheck's committed-pivot rule).
 func (x *slowTxn) trackRead(line mem.Line) {
 	x.checkDoom(line)
 	if _, ok := x.reads[line]; !ok {
@@ -240,6 +249,12 @@ func (x *slowTxn) trackRead(line mem.Line) {
 		x.outFlag = true
 		if x.inFlag {
 			x.abortInternal(tm.AbortSkew, line)
+		}
+		if w := x.e.slow.writers[line]; w != nil && w != x && w.committed && w.end > x.start {
+			w.inFlag = true
+			if w.outFlag {
+				x.abortInternal(tm.AbortSkew, line)
+			}
 		}
 	}
 }
@@ -272,7 +287,9 @@ func (x *slowTxn) dropReads() {
 	}
 }
 
-// pruneSSI removes committed readers that no active transaction overlaps.
+// pruneSSI removes committed readers and writer records that no active
+// transaction overlaps: the records it drops are exactly those every
+// remaining check would skip, so pruning is invisible to the simulation.
 func (e *Engine) pruneSSI() {
 	oldest, any := e.active.OldestActive()
 	for line, rs := range e.slow.readers {
@@ -283,6 +300,11 @@ func (e *Engine) pruneSSI() {
 		}
 		if len(rs) == 0 {
 			delete(e.slow.readers, line)
+		}
+	}
+	for line, w := range e.slow.writers {
+		if !any || w.end <= oldest {
+			delete(e.slow.writers, line)
 		}
 	}
 }
@@ -430,6 +452,12 @@ func (x *slowTxn) Commit() error {
 	if x.e.cfg.Serializable {
 		if err := x.ssiWriterCheck(end, installed); err != nil {
 			return err
+		}
+		// Record this commit as the newest writer of its lines so later
+		// readers of the overwritten versions can apply the read-side
+		// committed-pivot rule (see trackRead).
+		for _, line := range x.writeOrder {
+			x.e.slow.writers[line] = x
 		}
 	}
 

@@ -46,6 +46,44 @@ func TestSSICommittedPivotDetected(t *testing.T) {
 	})
 }
 
+// TestSSIReadSideCommittedPivotDetected exercises the read-side dual of
+// the committed-pivot rule — the shape of Fekete et al.'s read-only
+// anomaly, which model checking the read-only litmus found slipping
+// through the writer-side checks. T1 (withdraw) commits with an out-edge
+// to T0 (deposit); the observer T2, concurrent with T1, then reads a
+// line T1 overwrote. That read completes T2 -rw-> T1 -rw-> T0 around the
+// committed pivot T1 after both writers committed, so only T2's abort
+// can break the cycle.
+func TestSSIReadSideCommittedPivotDetected(t *testing.T) {
+	e := ssiEngine()
+	X, Y := addr(1), addr(2)
+	single(t, e, func(th *sched.Thread) {
+		t0 := e.Begin(th) // deposit: writes Y
+		t1 := e.Begin(th) // withdraw: reads X and Y, writes X
+		_ = t1.Read(X)
+		_ = t1.Read(Y)
+		t0.Write(Y, 20)
+		// t0 commits over active reader t1: edge t1->t0 (t1.out).
+		if err := t0.Commit(); err != nil {
+			t.Fatalf("t0: %v", err)
+		}
+		t2 := e.Begin(th) // observer, concurrent with t1
+		t1.Write(X, 93)
+		if err := t1.Commit(); err != nil {
+			t.Fatalf("t1 must commit (structure incomplete): %v", err)
+		}
+		defer func() {
+			if recover() == nil {
+				t.Error("t2's read must abort (read-side committed pivot)")
+			}
+		}()
+		_ = t2.Read(X)
+	})
+	if e.Stats().Aborts[tm.AbortSkew] != 1 {
+		t.Fatalf("skew aborts = %d, want 1", e.Stats().Aborts[tm.AbortSkew])
+	}
+}
+
 // TestSSIReadOnlyInducedEdgePersists checks that a committed read-only
 // transaction still constrains later writers while overlap remains.
 func TestSSIReadOnlyInducedEdgePersists(t *testing.T) {

@@ -27,6 +27,7 @@ var SimPackagePaths = map[string]bool{
 	"repro/internal/txlib":  true,
 	"repro/internal/clock":  true,
 	"repro/internal/tm":     true,
+	"repro/internal/mc":     true,
 	"repro/internal/skew":   true,
 	"repro/internal/report": true,
 }

@@ -188,5 +188,5 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 
 // All returns the full sitm-lint suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{DetLint, EngineLint, ChargeLint, FindingLint}
+	return []*Analyzer{DetLint, EngineLint, ChargeLint, FindingLint, YieldLint}
 }

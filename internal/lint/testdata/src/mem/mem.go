@@ -8,3 +8,26 @@ type Line uint64
 
 // Addr is a byte address.
 type Addr uint64
+
+// Dense is a flat simulated-storage table standing in for mem.Dense:
+// yieldlint treats its accessors as shared-memory touches.
+type Dense[T any] struct {
+	v []T
+}
+
+// Load reads slot i.
+func (d *Dense[T]) Load(i uint64) T {
+	var zero T
+	if i >= uint64(len(d.v)) {
+		return zero
+	}
+	return d.v[i]
+}
+
+// Store writes slot i.
+func (d *Dense[T]) Store(i uint64, x T) {
+	for i >= uint64(len(d.v)) {
+		d.v = append(d.v, x)
+	}
+	d.v[i] = x
+}

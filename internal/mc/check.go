@@ -1,0 +1,480 @@
+package mc
+
+import "strings"
+
+// Class is the verdict of the axiom checks on one history.
+type Class struct {
+	// SnapshotReads reports that every committed transaction's reads are
+	// explainable by some committed-prefix snapshot consistent with real
+	// time (the SI check minus first-committer-wins). Its failure is the
+	// NonSnapshotRead anomaly: a fractured read no snapshot can explain,
+	// forbidden for every engine.
+	SnapshotReads bool
+	// SI reports that the committed transactions satisfy snapshot
+	// isolation: snapshot reads plus first-committer-wins on write-write
+	// conflicts.
+	SI bool
+	// Opaque additionally requires the reads of *aborted* attempts to be
+	// snapshot-consistent — the multiversioned-memory guarantee the
+	// paper leans on (§4.3): even a doomed transaction only ever sees a
+	// consistent snapshot. The eager in-place 2PL baseline does not
+	// promise this: a transaction doomed by a conflicting writer can
+	// observe the writer's half-installed state before it aborts (the
+	// classic "zombie read"); model checking found exactly that, see
+	// DESIGN.md "Model checking".
+	Opaque bool
+	// Serializable reports that the committed transactions have a serial
+	// order, consistent with real time, explaining every external read.
+	Serializable bool
+	// LostUpdate: two committed transactions read the same version of a
+	// variable and both committed writes to it.
+	LostUpdate bool
+	// WriteSkew: SI-valid but not serializable — the anomaly SI admits
+	// by design (§2 of the paper).
+	WriteSkew bool
+	// LongFork: two committed readers observed two independent writes in
+	// opposite orders — admitted by parallel SI, forbidden by the strong
+	// SI these engines implement (every snapshot is a prefix of one
+	// total commit order).
+	LongFork bool
+}
+
+// Anomalies is the anomaly fingerprint of a history (or the union over a
+// history set).
+type Anomalies struct {
+	LostUpdate      bool
+	NonSnapshotRead bool
+	WriteSkew       bool
+	LongFork        bool
+	// ZombieRead is a non-snapshot read confined to an aborted attempt:
+	// committed transactions are clean but an attempt that later aborted
+	// observed a state no snapshot explains (an opacity violation).
+	ZombieRead bool
+}
+
+// Anomalies extracts the anomaly fingerprint from a verdict.
+func (c Class) Anomalies() Anomalies {
+	return Anomalies{
+		LostUpdate:      c.LostUpdate,
+		NonSnapshotRead: !c.SnapshotReads,
+		WriteSkew:       c.WriteSkew,
+		LongFork:        c.LongFork,
+		ZombieRead:      c.SnapshotReads && !c.Opaque,
+	}
+}
+
+// Any reports whether any anomaly is set.
+func (a Anomalies) Any() bool {
+	return a.LostUpdate || a.NonSnapshotRead || a.WriteSkew || a.LongFork || a.ZombieRead
+}
+
+// Union merges two fingerprints.
+func (a Anomalies) Union(b Anomalies) Anomalies {
+	return Anomalies{
+		LostUpdate:      a.LostUpdate || b.LostUpdate,
+		NonSnapshotRead: a.NonSnapshotRead || b.NonSnapshotRead,
+		WriteSkew:       a.WriteSkew || b.WriteSkew,
+		LongFork:        a.LongFork || b.LongFork,
+		ZombieRead:      a.ZombieRead || b.ZombieRead,
+	}
+}
+
+func (a Anomalies) String() string {
+	var parts []string
+	if a.LostUpdate {
+		parts = append(parts, "lost-update")
+	}
+	if a.NonSnapshotRead {
+		parts = append(parts, "non-snapshot-read")
+	}
+	if a.WriteSkew {
+		parts = append(parts, "write-skew")
+	}
+	if a.LongFork {
+		parts = append(parts, "long-fork")
+	}
+	if a.ZombieRead {
+		parts = append(parts, "zombie-read")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Classify runs every axiom check on one history of a litmus program with
+// nTxns transactions over variables initialised to init.
+func Classify(h *History, init []uint64, nTxns int) Class {
+	vs := views(h, nTxns)
+	var c Class
+	c.SnapshotReads = rywOK(vs, false) && checkSI(vs, init, false, false)
+	if c.SnapshotReads {
+		c.SI = checkSI(vs, init, true, false)
+		c.Opaque = rywOK(vs, true) && checkSI(vs, init, false, true)
+	}
+	c.Serializable = checkSerializable(vs, init)
+	c.LostUpdate = detectLostUpdate(vs)
+	c.WriteSkew = c.SI && !c.Serializable
+	c.LongFork = detectLongFork(vs)
+	return c
+}
+
+// rywOK reports whether every committed transaction — and, with aborted
+// set, every attempt — read back its own buffered writes.
+func rywOK(vs []txnView, aborted bool) bool {
+	for i := range vs {
+		if !vs[i].present || (!vs[i].committed && !aborted) {
+			continue
+		}
+		if !vs[i].rywOK {
+			return false
+		}
+	}
+	return true
+}
+
+// permutations calls f on every permutation of 0..n-1 until f returns
+// true, and reports whether any call did (a witness was found). n is at
+// most the litmus thread count, so the space is at most 4! = 24.
+func permutations(n int, f func(perm []int) bool) bool {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == n {
+			return f(perm)
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			if rec(k + 1) {
+				return true
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+		return false
+	}
+	return rec(0)
+}
+
+// checkSI searches for an SI witness: a total commit order over the
+// committed transactions plus a snapshot point per transaction. The
+// snapshot point s(T) ∈ [0, n] means T's snapshot contains exactly the
+// first s(T) transactions of the commit order.
+//
+// Constraints, all derived from events the recording provably brackets
+// (begin recorded before the engine's Begin, commit recorded after
+// Commit returned — see OpBegin):
+//
+//   - Real time: if A's recorded commit precedes B's recorded begin, A's
+//     versions were installed before B's snapshot was taken, so A must
+//     precede B in the commit order and lie inside B's snapshot.
+//     Conversely if B's recorded begin follows A's... if A's recorded
+//     begin follows B's recorded end, A cannot be in B's snapshot.
+//   - Snapshot prefix: s(T) ≤ pos(T) for committed T — a transaction
+//     cannot observe commits ordered after its own.
+//   - Reads: every external read of v returns the final write of the
+//     last transaction in the snapshot prefix that wrote v, or the
+//     initial value if none did.
+//   - First-committer-wins (fcw only): committed transactions that both
+//     wrote a variable must not be concurrent — the earlier one must lie
+//     inside the later one's snapshot.
+//
+// With aborted set, aborted attempts participate with a snapshot point
+// but no commit-order position: their reads, too, must come from a
+// consistent snapshot (the opacity check); they install nothing and are
+// exempt from first-committer-wins. Without it only committed
+// transactions are constrained — the SI contract proper.
+func checkSI(vs []txnView, init []uint64, fcw, aborted bool) bool {
+	var committed []int
+	for i := range vs {
+		if vs[i].present && vs[i].committed {
+			committed = append(committed, i)
+		}
+	}
+	n := len(committed)
+	return permutations(n, func(perm []int) bool {
+		// order[p] is the view index of the transaction at position p.
+		order := make([]int, n)
+		for p, q := range perm {
+			order[p] = committed[q]
+		}
+		// Real-time edges must embed into the commit order.
+		for pa := range order {
+			for pb := range order {
+				if vs[order[pa]].endIdx < vs[order[pb]].beginIdx && pa >= pb {
+					return false
+				}
+			}
+		}
+		// Each transaction independently needs one feasible snapshot
+		// point; constraints never couple two transactions' points, so
+		// the per-transaction searches are separable.
+		for i := range vs {
+			t := &vs[i]
+			if !t.present || (!t.committed && !aborted) {
+				continue
+			}
+			lb, ub := 0, n
+			pos := -1
+			for p, j := range order {
+				if j == i {
+					pos = p
+				}
+			}
+			if t.committed {
+				ub = pos
+			}
+			for p, j := range order {
+				if j == i {
+					continue
+				}
+				u := &vs[j]
+				if u.endIdx < t.beginIdx && lb < p+1 {
+					lb = p + 1 // u committed before t began: in snapshot
+				}
+				if u.beginIdx > t.endIdx && ub > p {
+					ub = p // u began after t ended: not in snapshot
+				}
+				if fcw && t.committed && p < pos && conflicts(t, u) && lb < p+1 {
+					lb = p + 1 // first committer wins: no concurrent writer
+				}
+			}
+			ok := false
+			for s := lb; s <= ub && !ok; s++ {
+				ok = readsMatch(t, s, order, vs, init)
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// conflicts reports whether two transactions committed writes to a common
+// variable.
+func conflicts(a, b *txnView) bool {
+	for _, w := range a.writes {
+		if _, ok := b.wrote(w.v); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// readsMatch reports whether every external read of t returns the last
+// write in the snapshot prefix order[:s], falling back to the initial
+// value.
+func readsMatch(t *txnView, s int, order []int, vs []txnView, init []uint64) bool {
+	for _, r := range t.extReads {
+		want := init[r.v]
+		for p := 0; p < s; p++ {
+			if v, ok := vs[order[p]].wrote(r.v); ok {
+				want = v
+			}
+		}
+		if r.val != want {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSerializable searches for a serial witness: a total order over the
+// committed transactions, embedding the real-time precedence (recorded
+// commit before recorded begin), under which every external read returns
+// the latest preceding write (or the initial value). Aborted attempts are
+// outside the serializability contract.
+func checkSerializable(vs []txnView, init []uint64) bool {
+	var committed []int
+	for i := range vs {
+		if vs[i].present && vs[i].committed {
+			committed = append(committed, i)
+		}
+	}
+	n := len(committed)
+	return permutations(n, func(perm []int) bool {
+		order := make([]int, n)
+		for p, q := range perm {
+			order[p] = committed[q]
+		}
+		for pa := range order {
+			for pb := range order {
+				if vs[order[pa]].endIdx < vs[order[pb]].beginIdx && pa >= pb {
+					return false
+				}
+			}
+		}
+		for p := range order {
+			if !readsMatch(&vs[order[p]], p, order, vs, init) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// detectLostUpdate reports whether two committed transactions read the
+// same version of a variable (witnessed by equal read values — write
+// values are distinct per variable by litmus construction) and both
+// committed writes to it.
+func detectLostUpdate(vs []txnView) bool {
+	for i := range vs {
+		a := &vs[i]
+		if !a.committed {
+			continue
+		}
+		for j := i + 1; j < len(vs); j++ {
+			b := &vs[j]
+			if !b.committed {
+				continue
+			}
+			for _, w := range a.writes {
+				if _, ok := b.wrote(w.v); !ok {
+					continue
+				}
+				ra, oka := extReadVal(a, w.v)
+				rb, okb := extReadVal(b, w.v)
+				if oka && okb && ra == rb {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// extReadVal returns t's first external read of v.
+func extReadVal(t *txnView, v int) (uint64, bool) {
+	for _, r := range t.extReads {
+		if r.v == v {
+			return r.val, true
+		}
+	}
+	return 0, false
+}
+
+// detectLongFork reports the long-fork shape: independent committed
+// writers W1 of u and W2 of v, and two committed readers that observed
+// them in opposite orders — R1 saw W1's u but not W2's v, R2 saw W2's v
+// but not W1's u. Reads-from is value-resolved, which the litmus
+// programs' per-variable-distinct write values make exact.
+func detectLongFork(vs []txnView) bool {
+	for i := range vs {
+		w1 := &vs[i]
+		if !w1.committed {
+			continue
+		}
+		for j := range vs {
+			w2 := &vs[j]
+			if j == i || !w2.committed {
+				continue
+			}
+			for _, wu := range w1.writes {
+				if _, ok := w2.wrote(wu.v); ok {
+					continue // not independent writers of u
+				}
+				for _, wv := range w2.writes {
+					if _, ok := w1.wrote(wv.v); ok {
+						continue
+					}
+					if longForkReaders(vs, i, j, wu, wv) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// longForkReaders searches for the two opposite-order readers given
+// writer views i (wrote wu) and j (wrote wv).
+func longForkReaders(vs []txnView, i, j int, wu, wv writeObs) bool {
+	sawNew := func(t *txnView, w writeObs) bool {
+		v, ok := extReadVal(t, w.v)
+		return ok && v == w.val
+	}
+	sawOld := func(t *txnView, w writeObs) bool {
+		v, ok := extReadVal(t, w.v)
+		return ok && v != w.val
+	}
+	for r1 := range vs {
+		if r1 == i || r1 == j || !vs[r1].committed {
+			continue
+		}
+		if !sawNew(&vs[r1], wu) || !sawOld(&vs[r1], wv) {
+			continue
+		}
+		for r2 := range vs {
+			if r2 == i || r2 == j || r2 == r1 || !vs[r2].committed {
+				continue
+			}
+			if sawNew(&vs[r2], wv) && sawOld(&vs[r2], wu) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// DSG builds the direct serialization graph of a history's committed
+// transactions, for cycle evidence in reports: WR edges from
+// value-resolved reads-from, WW edges ordering committed writers of a
+// variable by recorded commit, and RW antidependencies from a reader to
+// every writer installing a later version than the one it read. The
+// axiom checks above are the verdicts; the DSG is the explanation.
+func DSG(h *History, init []uint64, nTxns int, varName func(int) string) *Graph {
+	vs := views(h, nTxns)
+	g := NewGraph(nTxns)
+	for i := range vs {
+		t := &vs[i]
+		if !t.present || !t.committed {
+			continue
+		}
+		for _, r := range t.extReads {
+			// from: the committed writer of the value read, or -1 for
+			// the initial version.
+			from := -1
+			for j := range vs {
+				if j == i || !vs[j].committed {
+					continue
+				}
+				if v, ok := vs[j].wrote(r.v); ok && v == r.val {
+					from = j
+					break
+				}
+			}
+			if from >= 0 {
+				g.Add(from, i, WR, varName(r.v))
+			}
+			for j := range vs {
+				if j == i || j == from || !vs[j].committed {
+					continue
+				}
+				if _, ok := vs[j].wrote(r.v); !ok {
+					continue
+				}
+				// j installed a version of r.v other than the one read;
+				// it is a later version when its recorded commit follows
+				// the read version's installer (or the read was initial).
+				if from < 0 || vs[j].endIdx > vs[from].endIdx {
+					g.Add(i, j, RW, varName(r.v))
+				}
+			}
+		}
+		for _, w := range t.writes {
+			for j := range vs {
+				if j == i || !vs[j].committed {
+					continue
+				}
+				if _, ok := vs[j].wrote(w.v); ok && vs[i].endIdx < vs[j].endIdx {
+					g.Add(i, j, WW, varName(w.v))
+				}
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,202 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// parseHist builds a History from the canonical Key format ("b0 r1v0=1
+// w0v0=10 c0 a1"), so the fixtures below read the same way the checker
+// reports them.
+func parseHist(t *testing.T, s string) *History {
+	t.Helper()
+	h := &History{}
+	for _, tok := range strings.Fields(s) {
+		var op Op
+		var n int
+		var err error
+		switch tok[0] {
+		case 'b', 'c', 'a':
+			switch tok[0] {
+			case 'b':
+				op.Kind = OpBegin
+			case 'c':
+				op.Kind = OpCommit
+			case 'a':
+				op.Kind = OpAbort
+			}
+			n, err = fmt.Sscanf(tok[1:], "%d", &op.Txn)
+			if n != 1 {
+				t.Fatalf("bad token %q: %v", tok, err)
+			}
+		case 'r', 'w':
+			if tok[0] == 'r' {
+				op.Kind = OpRead
+			} else {
+				op.Kind = OpWrite
+			}
+			n, err = fmt.Sscanf(tok[1:], "%dv%d=%d", &op.Txn, &op.Var, &op.Val)
+			if n != 3 {
+				t.Fatalf("bad token %q: %v", tok, err)
+			}
+		default:
+			t.Fatalf("bad token %q", tok)
+		}
+		h.append(op)
+	}
+	return h
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	const s = "b0 b1 r1v0=1 w0v0=10 w0v1=20 r1v1=20 a1 c0"
+	if got := parseHist(t, s).Key(); got != s {
+		t.Fatalf("Key() = %q, want %q", got, s)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name  string
+		hist  string
+		init  []uint64
+		nTxns int
+		want  Class
+		// anomalies is the expected fingerprint string.
+		anomalies string
+	}{
+		{
+			// T1 begins after T0's commit and reads its write: the one
+			// serial order is forced by the real-time edge.
+			name:  "serial",
+			hist:  "b0 r0v0=1 w0v0=10 c0 b1 r1v0=10 c1",
+			init:  []uint64{1},
+			nTxns: 2,
+			want: Class{SnapshotReads: true, SI: true, Opaque: true,
+				Serializable: true},
+			anomalies: "none",
+		},
+		{
+			// The canonical write skew: both read the other's variable
+			// from the initial snapshot, both commit disjoint writes.
+			name:  "write-skew",
+			hist:  "b0 b1 r0v1=2 r1v0=1 w0v0=10 w1v1=20 c0 c1",
+			init:  []uint64{1, 2},
+			nTxns: 2,
+			want: Class{SnapshotReads: true, SI: true, Opaque: true,
+				WriteSkew: true},
+			anomalies: "write-skew",
+		},
+		{
+			// Both read x's initial version and both commit writes to x:
+			// first-committer-wins is violated, so SI must fail even
+			// though each read alone is snapshot-consistent.
+			name:  "lost-update",
+			hist:  "b0 b1 r0v0=1 r1v0=1 w0v0=10 w1v0=20 c0 c1",
+			init:  []uint64{1},
+			nTxns: 2,
+			want: Class{SnapshotReads: true, Opaque: true,
+				LostUpdate: true},
+			anomalies: "lost-update",
+		},
+		{
+			// A committed reader fractures T0's two-variable update: new
+			// x, old y. No snapshot explains it.
+			name:      "non-snapshot-read",
+			hist:      "b0 b1 w0v0=10 w0v1=20 r1v0=10 c0 r1v1=2 c1",
+			init:      []uint64{1, 2},
+			nTxns:     2,
+			want:      Class{},
+			anomalies: "non-snapshot-read",
+		},
+		{
+			// The eager-2PL shape model checking found: the doomed T1
+			// reads old x then new y, but aborts — committed behaviour is
+			// clean, only opacity is lost.
+			name:  "zombie-read",
+			hist:  "b0 b1 r1v0=1 w0v0=10 w0v1=20 r1v1=20 a1 c0",
+			init:  []uint64{1, 2},
+			nTxns: 2,
+			want: Class{SnapshotReads: true, SI: true,
+				Serializable: true},
+			anomalies: "zombie-read",
+		},
+		{
+			// Independent writers of x and y observed in opposite orders
+			// by two readers: parallel-SI's long fork. Prefix snapshots
+			// cannot explain it, so strong SI rejects it outright.
+			name:      "long-fork",
+			hist:      "b0 b1 b2 b3 w0v0=10 w1v1=20 r2v0=10 r2v1=2 r3v0=1 r3v1=20 c0 c1 c2 c3",
+			init:      []uint64{1, 2},
+			nTxns:     4,
+			want:      Class{LongFork: true},
+			anomalies: "non-snapshot-read,long-fork",
+		},
+		{
+			// Fekete et al.'s read-only anomaly: T1 charges the overdraft
+			// penalty without seeing T0's deposit, and the read-only T2
+			// sees the deposit but not the penalty — SI-valid, yet no
+			// serial order explains all three.
+			name:  "read-only-anomaly",
+			hist:  "b1 r1v0=0 r1v1=0 b0 r0v1=0 w0v1=20 c0 b2 r2v0=0 r2v1=20 c2 w1v0=93 c1",
+			init:  []uint64{0, 0},
+			nTxns: 3,
+			want: Class{SnapshotReads: true, SI: true, Opaque: true,
+				WriteSkew: true},
+			anomalies: "write-skew",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Classify(parseHist(t, tc.hist), tc.init, tc.nTxns)
+			if got != tc.want {
+				t.Errorf("Classify = %+v, want %+v", got, tc.want)
+			}
+			if s := got.Anomalies().String(); s != tc.anomalies {
+				t.Errorf("anomalies = %q, want %q", s, tc.anomalies)
+			}
+		})
+	}
+}
+
+func TestDSGWriteSkewCycle(t *testing.T) {
+	h := parseHist(t, "b0 b1 r0v1=2 r1v0=1 w0v0=10 w1v1=20 c0 c1")
+	name := func(v int) string { return []string{"x", "y"}[v] }
+	g := DSG(h, []uint64{1, 2}, 2, name)
+	comps := g.CyclicComponents()
+	if len(comps) != 1 || len(comps[0]) != 2 {
+		t.Fatalf("CyclicComponents = %v, want one 2-node cycle", comps)
+	}
+	// Both edges are RW antidependencies: each transaction read the
+	// version the other overwrote.
+	for _, from := range []int{0, 1} {
+		edges := g.Edges(from)
+		if len(edges) != 1 || edges[0].Kind != RW || edges[0].To != 1-from {
+			t.Fatalf("Edges(%d) = %+v, want one RW edge to %d", from, edges, 1-from)
+		}
+	}
+}
+
+func TestDSGSerialAcyclic(t *testing.T) {
+	h := parseHist(t, "b0 r0v0=1 w0v0=10 c0 b1 r1v0=10 c1")
+	g := DSG(h, []uint64{1}, 2, func(int) string { return "x" })
+	if comps := g.CyclicComponents(); len(comps) != 0 {
+		t.Fatalf("CyclicComponents = %v, want none", comps)
+	}
+	// The reads-from edge T0 -> T1 must be present as evidence.
+	edges := g.Edges(0)
+	if len(edges) != 1 || edges[0].Kind != WR || edges[0].To != 1 {
+		t.Fatalf("Edges(0) = %+v, want one WR edge to 1", edges)
+	}
+}
+
+func TestAnomaliesUnionAny(t *testing.T) {
+	var none Anomalies
+	if none.Any() || none.String() != "none" {
+		t.Fatalf("zero Anomalies: Any = %v, String = %q", none.Any(), none.String())
+	}
+	u := Anomalies{WriteSkew: true}.Union(Anomalies{ZombieRead: true})
+	if !u.WriteSkew || !u.ZombieRead || !u.Any() {
+		t.Fatalf("Union = %+v", u)
+	}
+}

@@ -1,0 +1,166 @@
+package mc
+
+// This file is the repo's one direct-serialization-graph implementation:
+// a small labeled digraph with a strongly-connected-component search.
+// It has two frontends — the model checker builds WW/WR/RW dependency
+// graphs over litmus histories for cycle evidence, and internal/skew
+// builds RW antidependency graphs over dynamic traces for the paper's
+// §5.1 write-skew tool. The SCC search is the iterative Tarjan formerly
+// private to internal/skew.
+
+// EdgeKind classifies a dependency edge of a serialization graph,
+// following Adya's taxonomy.
+type EdgeKind uint8
+
+const (
+	// WW is a write-write dependency: the target installed the next
+	// version of the labeled item after the source.
+	WW EdgeKind = iota
+	// WR is a write-read dependency: the target read the version the
+	// source installed.
+	WR
+	// RW is a read-write antidependency: the source read a version the
+	// target overwrote — the edge whose cycles witness write skew.
+	RW
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case WW:
+		return "ww"
+	case WR:
+		return "wr"
+	case RW:
+		return "rw"
+	}
+	return "?"
+}
+
+// Edge is one outgoing dependency edge. Label carries frontend context: a
+// variable name for the model checker, a source site for the skew tool.
+type Edge struct {
+	To    int
+	Kind  EdgeKind
+	Label string
+}
+
+// Graph is a dependency graph over transactions 0..n-1.
+type Graph struct {
+	adj   [][]Edge
+	edges int
+}
+
+// NewGraph returns an empty graph over n transactions.
+func NewGraph(n int) *Graph { return &Graph{adj: make([][]Edge, n)} }
+
+// Add inserts a from→to edge. Duplicate (from, to, kind) pairs are
+// dropped: a second parallel edge cannot change reachability, and the
+// skew frontend's per-reader dedup relied on the same property.
+func (g *Graph) Add(from, to int, kind EdgeKind, label string) {
+	for _, e := range g.adj[from] {
+		if e.To == to && e.Kind == kind {
+			return
+		}
+	}
+	g.adj[from] = append(g.adj[from], Edge{To: to, Kind: kind, Label: label})
+	g.edges++
+}
+
+// Len returns the number of transactions (nodes).
+func (g *Graph) Len() int { return len(g.adj) }
+
+// NumEdges returns the number of distinct (from, to, kind) edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Edges returns node v's outgoing edges (shared slice; do not modify).
+func (g *Graph) Edges(v int) []Edge { return g.adj[v] }
+
+// CyclicComponents returns every strongly connected component that
+// contains a cycle: components of two or more nodes, plus single nodes
+// with a self-loop. Each component's nodes are in Tarjan pop order;
+// callers sort as needed.
+func (g *Graph) CyclicComponents() [][]int {
+	var out [][]int
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			out = append(out, comp)
+			continue
+		}
+		for _, e := range g.adj[comp[0]] {
+			if e.To == comp[0] {
+				out = append(out, comp)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SCCs returns the strongly connected components of the graph (iterative
+// Tarjan, safe for deep graphs). The output order is deterministic: a
+// function of the adjacency structure only.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.adj)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack, comps = []int{}, [][]int{}
+	next := 1
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		frames := []frame{{v: root}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei].To
+				f.ei++
+				if index[w] == -1 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			// Finished v: pop component if root of SCC.
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := frames[len(frames)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,97 @@
+package mc
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// choice is one recorded scheduling decision: which runnable thread was
+// picked, out of how many.
+type choice struct {
+	pick   int
+	fanout int
+}
+
+// pathChooser drives one complete schedule: it replays a decision prefix,
+// then always picks the first runnable thread, recording every decision's
+// fanout so the explorer can backtrack. Replay is verified — a fanout
+// that differs from the recorded one means the simulation is not a
+// deterministic function of the decision sequence, which would invalidate
+// the whole enumeration, so it panics rather than continuing.
+type pathChooser struct {
+	prefix []choice
+	depth  int
+	path   []choice
+}
+
+// Choose implements sched.Chooser.
+func (c *pathChooser) Choose(runnable []*sched.Thread) int {
+	pick := 0
+	if c.depth < len(c.prefix) {
+		p := c.prefix[c.depth]
+		if p.fanout != 0 && p.fanout != len(runnable) {
+			panic(fmt.Sprintf("mc: replay diverged at decision %d: %d runnable, recorded %d — the simulation is not deterministic in its schedule",
+				c.depth, len(runnable), p.fanout))
+		}
+		pick = p.pick
+	}
+	c.depth++
+	c.path = append(c.path, choice{pick: pick, fanout: len(runnable)})
+	return pick
+}
+
+// Options bounds an exploration.
+type Options struct {
+	// MaxSchedules stops the DFS after this many complete schedules;
+	// 0 means unbounded (exhaust the tree).
+	MaxSchedules int
+}
+
+// ExploreStats describes one exploration.
+type ExploreStats struct {
+	// Schedules is the number of complete schedules executed.
+	Schedules int
+	// Decisions is the total number of decision points visited.
+	Decisions int64
+	// MaxDepth is the longest schedule, in decisions.
+	MaxDepth int
+	// Exhausted reports that the whole decision tree was enumerated;
+	// when false the run stopped at MaxSchedules and verdicts about
+	// *admitted* behaviours are lower bounds only.
+	Exhausted bool
+}
+
+// Explore DFS-enumerates the schedule decision tree of run. run must
+// construct a fresh deterministic system and drive it through the given
+// chooser exactly once per call — typically sched.New + engine
+// construction + (*sched.Sim).RunChoose — and observe its own results via
+// closure. Explore backtracks at the deepest decision with an unexplored
+// alternative, replaying the (verified) prefix to reach it.
+func Explore(opts Options, run func(sched.Chooser)) ExploreStats {
+	var st ExploreStats
+	var prefix []choice
+	for {
+		c := &pathChooser{prefix: prefix}
+		run(c)
+		st.Schedules++
+		st.Decisions += int64(len(c.path))
+		if len(c.path) > st.MaxDepth {
+			st.MaxDepth = len(c.path)
+		}
+		// Backtrack: deepest decision with an unexplored sibling.
+		i := len(c.path) - 1
+		for i >= 0 && c.path[i].pick+1 >= c.path[i].fanout {
+			i--
+		}
+		if i < 0 {
+			st.Exhausted = true
+			return st
+		}
+		if opts.MaxSchedules > 0 && st.Schedules >= opts.MaxSchedules {
+			return st
+		}
+		prefix = append(prefix[:0], c.path[:i]...)
+		prefix = append(prefix, choice{pick: c.path[i].pick + 1, fanout: c.path[i].fanout})
+	}
+}

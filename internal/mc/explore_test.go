@@ -1,0 +1,126 @@
+package mc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+// driveTree walks one schedule of a synthetic decision tree: fanout
+// returns the branching factor at the current path (0 for a leaf). The
+// chooser only ever inspects len(runnable), so placeholder slices stand
+// in for real threads.
+func driveTree(c sched.Chooser, fanout func(path []int) int) []int {
+	var path []int
+	for {
+		f := fanout(path)
+		if f == 0 {
+			return path
+		}
+		path = append(path, c.Choose(make([]*sched.Thread, f)))
+	}
+}
+
+func TestExploreUniformTree(t *testing.T) {
+	const depth, fan = 4, 2
+	seen := make(map[string]bool)
+	st := Explore(Options{}, func(c sched.Chooser) {
+		path := driveTree(c, func(p []int) int {
+			if len(p) < depth {
+				return fan
+			}
+			return 0
+		})
+		var b strings.Builder
+		for _, pick := range path {
+			b.WriteByte(byte('0' + pick))
+		}
+		if seen[b.String()] {
+			t.Fatalf("schedule %s explored twice", b.String())
+		}
+		seen[b.String()] = true
+	})
+	want := 1
+	for i := 0; i < depth; i++ {
+		want *= fan
+	}
+	if st.Schedules != want || len(seen) != want {
+		t.Fatalf("Schedules = %d, distinct = %d, want %d", st.Schedules, len(seen), want)
+	}
+	if !st.Exhausted {
+		t.Fatal("tree not exhausted")
+	}
+	if st.MaxDepth != depth {
+		t.Fatalf("MaxDepth = %d, want %d", st.MaxDepth, depth)
+	}
+	if st.Decisions != int64(want*depth) {
+		t.Fatalf("Decisions = %d, want %d", st.Decisions, want*depth)
+	}
+}
+
+// TestExploreUnevenTree checks backtracking across branches of different
+// depth and fanout: picking 0 at the root opens three leaves, picking 1
+// is itself a leaf — four schedules in all.
+func TestExploreUnevenTree(t *testing.T) {
+	st := Explore(Options{}, func(c sched.Chooser) {
+		driveTree(c, func(p []int) int {
+			switch {
+			case len(p) == 0:
+				return 2
+			case len(p) == 1 && p[0] == 0:
+				return 3
+			default:
+				return 0
+			}
+		})
+	})
+	if st.Schedules != 4 || !st.Exhausted {
+		t.Fatalf("Schedules = %d, Exhausted = %v, want 4 exhausted", st.Schedules, st.Exhausted)
+	}
+}
+
+func TestExploreMaxSchedules(t *testing.T) {
+	st := Explore(Options{MaxSchedules: 5}, func(c sched.Chooser) {
+		driveTree(c, func(p []int) int {
+			if len(p) < 4 {
+				return 2
+			}
+			return 0
+		})
+	})
+	if st.Schedules != 5 {
+		t.Fatalf("Schedules = %d, want 5", st.Schedules)
+	}
+	if st.Exhausted {
+		t.Fatal("bounded run reported Exhausted")
+	}
+}
+
+// TestExploreReplayDivergencePanics pins the determinism tripwire: if the
+// same decision prefix reaches a point with a different fanout than the
+// recorded one, the enumeration is invalid and Explore must panic.
+func TestExploreReplayDivergencePanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("no panic on replay divergence")
+		}
+		if !strings.Contains(r.(string), "replay diverged") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	runs := 0
+	Explore(Options{}, func(c sched.Chooser) {
+		runs++
+		driveTree(c, func(p []int) int {
+			if len(p) == 0 {
+				return 1 + runs // root fanout changes between runs
+			}
+			if len(p) < 2 {
+				return 2
+			}
+			return 0
+		})
+	})
+}

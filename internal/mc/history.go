@@ -1,0 +1,206 @@
+// Package mc is a small-scope model checker for the transactional memory
+// engines: it drives a handful of tiny transactions (a litmus program)
+// through every interleaving the deterministic simulator admits and
+// validates each resulting history against declarative snapshot-isolation
+// axioms (snapshot reads, first-committer-wins) and serializability, in
+// the spirit of Raad–Lahav–Vafeiadis, "On the Semantics of Snapshot
+// Isolation" (PAPERS.md) and the SnapshotIsolationRefinement TLA+ module
+// (SNIPPETS.md).
+//
+// The schedule space is the decision tree of sched.RunChoose: every
+// charged Tick/Stall yield plus every body completion is one decision
+// point, and yieldlint (internal/lint) statically pins those yields as the
+// only places engine code may touch simulated shared memory — together
+// they make the tree the complete set of behaviours. Explore walks the
+// tree depth-first with deterministic prefix replay; the histories at its
+// leaves are classified once per distinct history.
+//
+// Axioms are checked existentially over small witness spaces (at most 4
+// transactions, so at most 24 commit orders): a history is SI iff there
+// is a total commit order and per-transaction snapshot prefixes — both
+// constrained by sound real-time edges — under which every external read
+// returns the last write in its snapshot and no two conflicting writers
+// are concurrent. See DESIGN.md "Model checking" for the full definitions.
+package mc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// OpKind is the kind of one history event.
+type OpKind uint8
+
+const (
+	// OpBegin is recorded immediately before Engine.Begin is entered, so
+	// a recorded commit that precedes a recorded begin is a sound
+	// real-time edge: the committer's effects were installed before the
+	// beginner's snapshot was taken.
+	OpBegin OpKind = iota
+	// OpRead is an external or own-write read that returned Val for Var.
+	OpRead
+	// OpWrite is a buffered transactional store of Val to Var.
+	OpWrite
+	// OpCommit is recorded after Txn.Commit returned nil.
+	OpCommit
+	// OpAbort is recorded after the attempt aborted (engine conflict or
+	// explicit), whether during an access or at commit.
+	OpAbort
+)
+
+// Op is one event of a history. Var and Val are meaningful for OpRead and
+// OpWrite only. Txn is the litmus transaction index — one transaction per
+// logical thread, so it equals the thread ID.
+type Op struct {
+	Txn  int
+	Kind OpKind
+	Var  int
+	Val  uint64
+}
+
+// History is the globally ordered event sequence of one complete schedule.
+// Exactly one logical thread runs at any instant, so appends from litmus
+// transactions produce a total order without locking.
+type History struct {
+	Ops []Op
+}
+
+// append records one event.
+func (h *History) append(op Op) { h.Ops = append(h.Ops, op) }
+
+// Key returns the canonical string form of the history, used to
+// deduplicate the histories different schedules produce. Distinct keys
+// are distinct histories; classification runs once per key.
+func (h *History) Key() string {
+	var b strings.Builder
+	for i, op := range h.Ops {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch op.Kind {
+		case OpBegin:
+			b.WriteByte('b')
+			b.WriteString(strconv.Itoa(op.Txn))
+		case OpRead, OpWrite:
+			if op.Kind == OpRead {
+				b.WriteByte('r')
+			} else {
+				b.WriteByte('w')
+			}
+			b.WriteString(strconv.Itoa(op.Txn))
+			b.WriteByte('v')
+			b.WriteString(strconv.Itoa(op.Var))
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatUint(op.Val, 10))
+		case OpCommit:
+			b.WriteByte('c')
+			b.WriteString(strconv.Itoa(op.Txn))
+		case OpAbort:
+			b.WriteByte('a')
+			b.WriteString(strconv.Itoa(op.Txn))
+		}
+	}
+	return b.String()
+}
+
+// Clone returns an independent copy of the history.
+func (h *History) Clone() *History {
+	c := &History{Ops: make([]Op, len(h.Ops))}
+	copy(c.Ops, h.Ops)
+	return c
+}
+
+// readObs is one external read observation: the transaction had not yet
+// written Var when it read Val.
+type readObs struct {
+	index int // position in History.Ops, for error reporting
+	v     int
+	val   uint64
+}
+
+// writeObs is the final write of a transaction to one variable — the
+// value its commit installs.
+type writeObs struct {
+	v   int
+	val uint64
+}
+
+// txnView is the per-transaction digest of a history that the axiom
+// checks consume.
+type txnView struct {
+	id        int
+	present   bool // the transaction began in this history
+	committed bool
+	beginIdx  int // History.Ops index of the begin event
+	endIdx    int // History.Ops index of the commit/abort event
+	extReads  []readObs
+	writes    []writeObs // final write per variable, in first-write order
+	// rywOK reports that every own-write read returned the value this
+	// transaction last buffered (read-your-writes). An eager in-place
+	// engine can violate it inside a doomed attempt when the conflicting
+	// writer overwrites the line before the attempt notices its doom.
+	rywOK bool
+}
+
+// wrote returns the transaction's final write to v, if any.
+func (t *txnView) wrote(v int) (uint64, bool) {
+	for _, w := range t.writes {
+		if w.v == v {
+			return w.val, true
+		}
+	}
+	return 0, false
+}
+
+// views digests a history into per-transaction views.
+func views(h *History, nTxns int) []txnView {
+	vs := make([]txnView, nTxns)
+	for i := range vs {
+		vs[i].id = i
+		vs[i].beginIdx = -1
+		vs[i].endIdx = -1
+		vs[i].rywOK = true
+	}
+	for i, op := range h.Ops {
+		t := &vs[op.Txn]
+		switch op.Kind {
+		case OpBegin:
+			t.present = true
+			t.beginIdx = i
+		case OpRead:
+			if own, ok := t.wrote(op.Var); ok {
+				// Own-write read: must return the buffered value.
+				if own != op.Val {
+					t.rywOK = false
+				}
+			} else {
+				t.extReads = append(t.extReads, readObs{index: i, v: op.Var, val: op.Val})
+			}
+		case OpWrite:
+			replaced := false
+			for j := range t.writes {
+				if t.writes[j].v == op.Var {
+					t.writes[j].val = op.Val
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				t.writes = append(t.writes, writeObs{v: op.Var, val: op.Val})
+			}
+		case OpCommit:
+			t.committed = true
+			t.endIdx = i
+		case OpAbort:
+			t.endIdx = i
+		}
+	}
+	for i := range vs {
+		// A transaction still running when the history was cut behaves
+		// as ending after every recorded event.
+		if vs[i].present && vs[i].endIdx < 0 {
+			vs[i].endIdx = len(h.Ops)
+		}
+	}
+	return vs
+}

@@ -1,0 +1,191 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/tm"
+)
+
+// Tx is the litmus-program view of a transaction attempt: variable-
+// indexed reads and writes that record themselves into the schedule's
+// history. Variables live on distinct cache lines so engine conflict
+// detection sees them as independent items at any granularity.
+//
+// Litmus programs must keep write values distinct per variable — distinct
+// from the initial value and from every other write to the same variable
+// in any execution — because the axiom checks resolve reads-from by
+// value. RunLitmus verifies this per history and panics on a collision.
+type Tx struct {
+	id  int
+	txn tm.Txn
+	h   *History
+}
+
+// varAddr places variable v on its own cache line (line v+1; line 0 is
+// left untouched to keep addresses nonzero).
+func varAddr(v int) mem.Addr { return mem.Addr((v + 1) * mem.LineBytes) }
+
+// Read returns variable v's value under the engine's isolation level.
+func (t *Tx) Read(v int) uint64 {
+	val := t.txn.Read(varAddr(v))
+	t.h.append(Op{Txn: t.id, Kind: OpRead, Var: v, Val: val})
+	return val
+}
+
+// Write buffers a store of val to variable v.
+func (t *Tx) Write(v int, val uint64) {
+	t.txn.Write(varAddr(v), val)
+	t.h.append(Op{Txn: t.id, Kind: OpWrite, Var: v, Val: val})
+}
+
+// Program is one litmus test: a fixed set of tiny transactions, one per
+// logical thread, each executed as a single attempt (tm.RunOnce — under
+// an adversarial chooser a retry loop need not terminate, and an aborted
+// attempt is itself a history the axioms must account for).
+type Program struct {
+	Name string
+	// Doc is the one-line description shown by sitm-check -list.
+	Doc string
+	// VarNames names the variables for reports; len(VarNames) is the
+	// variable count.
+	VarNames []string
+	// Init holds the initial value per variable, installed with
+	// NonTxWrite before the machine starts. Initial values must be
+	// distinct from every value the program can write to that variable.
+	Init []uint64
+	// Threads holds one transaction body per logical thread.
+	Threads []func(*Tx)
+	// SIAdmits is the anomaly fingerprint a snapshot-isolation engine is
+	// expected to admit somewhere in this program's schedule space. With
+	// exhaustive exploration the match must be exact; bounded
+	// exploration only forbids anomalies outside the set. Note long fork
+	// is never in the set: the engines implement *strong* SI (starters
+	// stall on in-flight commits, so every snapshot is a prefix of one
+	// total commit order), which forbids it — see DESIGN.md.
+	SIAdmits Anomalies
+}
+
+// Programs returns the litmus library in its canonical order. The first
+// four are exhaustively enumerable in well under 10^5 schedules; the
+// 3- and 4-thread programs need a MaxSchedules bound.
+func Programs() []Program {
+	return []Program{
+		{
+			Name:     "write-skew",
+			Doc:      "T0 reads y writes x, T1 reads x writes y: the canonical SI anomaly",
+			VarNames: []string{"x", "y"},
+			Init:     []uint64{1, 2},
+			Threads: []func(*Tx){
+				func(t *Tx) { t.Read(1); t.Write(0, 10) },
+				func(t *Tx) { t.Read(0); t.Write(1, 20) },
+			},
+			SIAdmits: Anomalies{WriteSkew: true},
+		},
+		{
+			Name:     "lost-update",
+			Doc:      "both transactions read x then write x: first committer must win",
+			VarNames: []string{"x"},
+			Init:     []uint64{1},
+			Threads: []func(*Tx){
+				func(t *Tx) { t.Read(0); t.Write(0, 10) },
+				func(t *Tx) { t.Read(0); t.Write(0, 20) },
+			},
+			SIAdmits: Anomalies{},
+		},
+		{
+			Name:     "read-skew",
+			Doc:      "T0 writes x then y, T1 reads x then y: reads must not fracture the update",
+			VarNames: []string{"x", "y"},
+			Init:     []uint64{1, 2},
+			Threads: []func(*Tx){
+				func(t *Tx) { t.Write(0, 10); t.Write(1, 20) },
+				func(t *Tx) { t.Read(0); t.Read(1) },
+			},
+			SIAdmits: Anomalies{},
+		},
+		{
+			Name:     "bank",
+			Doc:      "Listing 1: both accounts withdraw if the joint balance covers it",
+			VarNames: []string{"a", "b"},
+			Init:     []uint64{60, 60},
+			Threads: []func(*Tx){
+				func(t *Tx) {
+					ra, rb := t.Read(0), t.Read(1)
+					if ra+rb >= 100 {
+						t.Write(0, ra-50)
+					}
+				},
+				func(t *Tx) {
+					ra, rb := t.Read(0), t.Read(1)
+					if ra+rb >= 100 {
+						t.Write(1, rb-50)
+					}
+				},
+			},
+			SIAdmits: Anomalies{WriteSkew: true},
+		},
+		{
+			Name:     "read-only",
+			Doc:      "Fekete et al.'s read-only anomaly: an observer makes two SI-compatible writers non-serializable",
+			VarNames: []string{"x", "y"},
+			Init:     []uint64{0, 0},
+			Threads: []func(*Tx){
+				// Deposit 20 into y.
+				func(t *Tx) {
+					ry := t.Read(1)
+					t.Write(1, ry+20)
+				},
+				// Withdraw 10 from x, with an overdraft penalty of 1
+				// when the joint balance cannot cover it.
+				func(t *Tx) {
+					rx, ry := t.Read(0), t.Read(1)
+					if int64(rx)+int64(ry) < 10 {
+						t.Write(0, rx-11)
+					} else {
+						t.Write(0, rx-10)
+					}
+				},
+				// Read-only observer.
+				func(t *Tx) { t.Read(0); t.Read(1) },
+			},
+			SIAdmits: Anomalies{WriteSkew: true},
+		},
+		{
+			Name:     "long-fork",
+			Doc:      "independent writers of x and y, two readers: under strong SI they must agree on the order",
+			VarNames: []string{"x", "y"},
+			Init:     []uint64{1, 2},
+			Threads: []func(*Tx){
+				func(t *Tx) { t.Write(0, 10) },
+				func(t *Tx) { t.Write(1, 20) },
+				func(t *Tx) { t.Read(0); t.Read(1) },
+				func(t *Tx) { t.Read(1); t.Read(0) },
+			},
+			SIAdmits: Anomalies{},
+		},
+	}
+}
+
+// ProgramNames lists the litmus program names in canonical order.
+func ProgramNames() []string {
+	ps := Programs()
+	names := make([]string, len(ps))
+	for i := range ps {
+		names[i] = ps[i].Name
+	}
+	return names
+}
+
+// ProgramByName resolves a litmus program; unknown names return an error
+// listing the valid ones.
+func ProgramByName(name string) (Program, error) {
+	for _, p := range Programs() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("mc: unknown litmus program %q (valid: %s)",
+		name, strings.Join(ProgramNames(), ", "))
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/mc"
 	"repro/internal/mem"
 	"repro/internal/tm"
 )
@@ -137,16 +138,13 @@ func (rep *Report) String() string {
 	return b.String()
 }
 
-// edge is a rw antidependency reader -> writer with the reader's site.
-type edge struct {
-	to   int
-	site string
-}
-
 // Analyze post-processes the trace (the paper defers the heavy work to a
 // post-processing phase to minimise perturbation, §5.1): it builds the
 // read-write dependency graph over concurrent committed transactions and
-// reports every cycle as a write-skew candidate.
+// reports every cycle as a write-skew candidate. The graph and its cycle
+// search are the shared serialization-graph core in internal/mc — the
+// same implementation the model checker uses for its serializability
+// evidence.
 func (r *Recorder) Analyze() *Report {
 	txns := r.done
 	n := len(txns)
@@ -167,33 +165,27 @@ func (r *Recorder) Analyze() *Report {
 
 	// Build rw antidependency edges reader -> writer between concurrent
 	// transactions: the reader read a line the writer overwrote, and
-	// neither saw the other's effects.
-	adj := make([][]edge, n)
+	// neither saw the other's effects. Graph.Add drops duplicate
+	// (reader, writer) pairs, keeping the first read site — the same
+	// dedup the pre-mc implementation did by hand.
+	g := mc.NewGraph(n)
 	for i, t := range txns {
-		seenEdge := make(map[int]bool)
 		for _, rd := range t.reads {
 			for _, j := range writersOf[rd.line] {
-				if i == j || seenEdge[j] {
-					continue
+				if i != j && concurrent(t, txns[j]) {
+					g.Add(i, j, mc.RW, rd.site)
 				}
-				u := txns[j]
-				if !concurrent(t, u) {
-					continue
-				}
-				adj[i] = append(adj[i], edge{to: j, site: rd.site})
-				seenEdge[j] = true
-				rep.Edges++
 			}
 		}
 	}
+	rep.Edges = g.NumEdges()
 
 	// Every strongly connected component with more than one node
 	// contains a dependency cycle — the necessary condition for write
-	// skew (§5.1, after Cahill et al.).
-	for _, comp := range tarjanSCC(adj) {
-		if len(comp) < 2 {
-			continue
-		}
+	// skew (§5.1, after Cahill et al.). Self-loops cannot occur (i == j
+	// edges are never added), so CyclicComponents returns exactly the
+	// multi-node components.
+	for _, comp := range g.CyclicComponents() {
 		inComp := make(map[int]bool, len(comp))
 		for _, v := range comp {
 			inComp[v] = true
@@ -202,9 +194,9 @@ func (r *Recorder) Analyze() *Report {
 		siteSet := map[string]bool{}
 		for _, v := range comp {
 			c.Txns = append(c.Txns, txns[v].id)
-			for _, e := range adj[v] {
-				if inComp[e.to] && e.site != "" {
-					siteSet[e.site] = true
+			for _, e := range g.Edges(v) {
+				if inComp[e.To] && e.Label != "" {
+					siteSet[e.Label] = true
 				}
 			}
 		}
@@ -242,72 +234,4 @@ func (rep *Report) Promote(e tm.Engine) {
 	for _, s := range rep.Sites {
 		e.Promote(s)
 	}
-}
-
-// tarjanSCC returns the strongly connected components of adj (iterative
-// Tarjan, safe for deep graphs).
-func tarjanSCC(adj [][]edge) [][]int {
-	n := len(adj)
-	index := make([]int, n)
-	low := make([]int, n)
-	onStack := make([]bool, n)
-	for i := range index {
-		index[i] = -1
-	}
-	var stack, comps = []int{}, [][]int{}
-	next := 1
-
-	type frame struct {
-		v, ei int
-	}
-	for root := 0; root < n; root++ {
-		if index[root] != -1 {
-			continue
-		}
-		frames := []frame{{v: root}}
-		index[root], low[root] = next, next
-		next++
-		stack = append(stack, root)
-		onStack[root] = true
-		for len(frames) > 0 {
-			f := &frames[len(frames)-1]
-			if f.ei < len(adj[f.v]) {
-				w := adj[f.v][f.ei].to
-				f.ei++
-				if index[w] == -1 {
-					index[w], low[w] = next, next
-					next++
-					stack = append(stack, w)
-					onStack[w] = true
-					frames = append(frames, frame{v: w})
-				} else if onStack[w] && index[w] < low[f.v] {
-					low[f.v] = index[w]
-				}
-				continue
-			}
-			// Finished v: pop component if root of SCC.
-			v := f.v
-			frames = frames[:len(frames)-1]
-			if len(frames) > 0 {
-				p := frames[len(frames)-1].v
-				if low[v] < low[p] {
-					low[p] = low[v]
-				}
-			}
-			if low[v] == index[v] {
-				var comp []int
-				for {
-					w := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					onStack[w] = false
-					comp = append(comp, w)
-					if w == v {
-						break
-					}
-				}
-				comps = append(comps, comp)
-			}
-		}
-	}
-	return comps
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/mc"
 	"repro/internal/sched"
 	"repro/internal/tm"
 	"repro/internal/txlib"
@@ -299,22 +300,26 @@ func TestRecorderCounts(t *testing.T) {
 	}
 }
 
-func TestTarjanSCC(t *testing.T) {
-	// 0 -> 1 -> 2 -> 0 cycle plus isolated 3 and chain 3 -> 0.
-	adj := [][]edge{
-		{{to: 1}},
-		{{to: 2}},
-		{{to: 0}},
-		{{to: 0}},
+func TestSharedDSGCore(t *testing.T) {
+	// Analyze now runs on internal/mc's serialization graph; pin the two
+	// properties it relies on. Cycle search: 0 -> 1 -> 2 -> 0 plus a
+	// chain 3 -> 0 yields exactly the 3-cycle.
+	g := mc.NewGraph(4)
+	g.Add(0, 1, mc.RW, "")
+	g.Add(1, 2, mc.RW, "")
+	g.Add(2, 0, mc.RW, "")
+	g.Add(3, 0, mc.RW, "")
+	comps := g.CyclicComponents()
+	if len(comps) != 1 || len(comps[0]) != 3 {
+		t.Fatalf("CyclicComponents = %v, want one 3-cycle", comps)
 	}
-	comps := tarjanSCC(adj)
-	var big []int
-	for _, c := range comps {
-		if len(c) > 1 {
-			big = c
-		}
-	}
-	if len(big) != 3 {
-		t.Fatalf("SCC = %v, want the 3-cycle", comps)
+	// Dedup: a duplicate (reader, writer) edge is dropped and the first
+	// read site kept — the hand-rolled seenEdge behaviour Analyze had
+	// before the refactor.
+	g2 := mc.NewGraph(2)
+	g2.Add(0, 1, mc.RW, "siteA")
+	g2.Add(0, 1, mc.RW, "siteB")
+	if g2.NumEdges() != 1 || g2.Edges(0)[0].Label != "siteA" {
+		t.Fatalf("edges = %v (n=%d), want one edge labelled siteA", g2.Edges(0), g2.NumEdges())
 	}
 }

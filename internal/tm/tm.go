@@ -234,6 +234,17 @@ func Atomic(e Engine, t *sched.Thread, backoff BackoffConfig, body func(Txn) err
 	}
 }
 
+// RunOnce executes body as a single transaction attempt with no retry:
+// the attempt either commits (nil) or returns the *AbortError (or the
+// body's own error) after rolling back. The model checker (internal/mc)
+// runs litmus transactions through it — under an adversarial schedule
+// chooser a retry loop need not terminate, and an aborted attempt is
+// itself a history the SI axioms must account for, not something to hide
+// behind a retry.
+func RunOnce(e Engine, t *sched.Thread, body func(Txn) error) error {
+	return runAttempt(e, t, body)
+}
+
 // runAttempt executes one transaction attempt, translating abort signals
 // into *AbortError values.
 func runAttempt(e Engine, t *sched.Thread, body func(Txn) error) (err error) {

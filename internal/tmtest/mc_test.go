@@ -1,0 +1,44 @@
+package tmtest_test
+
+import (
+	"testing"
+
+	"repro/internal/mc"
+	"repro/internal/tm"
+	"repro/internal/tmtest"
+
+	// Engines under test self-register with the tm registry.
+	_ "repro/internal/core"
+	_ "repro/internal/sontm"
+	_ "repro/internal/twopl"
+)
+
+// TestIsolationProbesAgree pins the repo's two behavioural isolation
+// probes to each other for every registered engine: DetectIsolation's
+// single-schedule write-skew probe (which picks the conformance suite)
+// and mc.EngineFamily's exhaustive schedule-space classification (which
+// picks the model-checking contract). If an engine change made them
+// drift — an engine that aborts the one probed schedule but admits write
+// skew under another interleaving, say — the suites and sitm-check would
+// silently test different things.
+func TestIsolationProbesAgree(t *testing.T) {
+	for _, name := range tm.Engines() {
+		t.Run(name, func(t *testing.T) {
+			iso := tmtest.DetectIsolation(func() tm.Engine {
+				e, err := tm.NewEngine(name, tm.EngineOptions{})
+				if err != nil {
+					t.Fatalf("constructing %s: %v", name, err)
+				}
+				return e
+			})
+			fam, err := mc.EngineFamily(name, tm.EngineOptions{})
+			if err != nil {
+				t.Fatalf("EngineFamily(%s): %v", name, err)
+			}
+			agree := (iso == tmtest.SnapshotIsolation) == (fam == mc.FamilySI)
+			if !agree {
+				t.Fatalf("probes drifted: DetectIsolation says %s, mc.EngineFamily says %s", iso, fam)
+			}
+		})
+	}
+}

@@ -147,9 +147,13 @@ func (e *Engine) Promote(string) {}
 func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
 
 // NonTxRead implements tm.Engine.
+//
+//sitm:allow(yieldlint) workload setup/verification API, called before threads start or after they quiesce
 func (e *Engine) NonTxRead(a mem.Addr) uint64 { return e.words.Load(mem.WordIndex(a)) }
 
 // NonTxWrite implements tm.Engine.
+//
+//sitm:allow(yieldlint) workload setup/verification API, called before threads start or after they quiesce
 func (e *Engine) NonTxWrite(a mem.Addr, v uint64) { e.words.Store(mem.WordIndex(a), v) }
 
 func (e *Engine) hierarchy(t *sched.Thread) *cache.Hierarchy {
@@ -203,6 +207,8 @@ func (e *Engine) CacheStats() cache.Stats {
 // conformance cell. The reference (map-based) path keeps the pre-aset
 // engine's own lifecycle — cleanup deletes its holds eagerly — so it is
 // not audited.
+//
+//sitm:allow(yieldlint) quiescent audit scan, runs after every simulated thread has finished
 func (e *Engine) AuditAccessSets() error {
 	if e.cfg.ReferenceSets {
 		return nil
