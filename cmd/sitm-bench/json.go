@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -54,11 +55,21 @@ type benchReport struct {
 	// VCS stamp, falling back to asking git about the build tree;
 	// "unknown" outside a git checkout, with a "-dirty" suffix when the
 	// working tree has uncommitted changes).
-	GitRevision string         `json:"git_revision"`
-	Workers     int            `json:"workers"`
-	Seeds       []uint64       `json:"seeds"`
-	Sections    []benchSection `json:"sections"`
-	HotPaths    []benchHotPath `json:"hot_paths"`
+	GitRevision string `json:"git_revision"`
+	// PerEvent records whether the sweep ran with horizon batching
+	// disabled (-per-event); figure bytes are identical either way, but
+	// SchedStats is the counter that tells the two conductors apart.
+	PerEvent bool           `json:"per_event,omitempty"`
+	Workers  int            `json:"workers"`
+	Seeds    []uint64       `json:"seeds"`
+	Sections []benchSection `json:"sections"`
+	// SchedStats sums the deterministic conductor counters over every
+	// cell of the invocation: coroutine switches, inline ticks,
+	// horizon-batched events and local (uncontended) ticks. Batching
+	// shows up here as coroutine_switches dropping and batched_events
+	// rising relative to a -per-event run of the same sweep.
+	SchedStats sched.Stats    `json:"sched_stats"`
+	HotPaths   []benchHotPath `json:"hot_paths"`
 }
 
 // benchCollector accumulates per-cell simulated cycles (fed concurrently
@@ -68,6 +79,9 @@ type benchCollector struct {
 	cells     atomic.Uint64
 	simCycles atomic.Uint64
 	started   time.Time
+
+	mu    sync.Mutex  // guards sched
+	sched sched.Stats // conductor counters summed over all cells
 }
 
 // newBenchCollector starts a collector describing the current invocation.
@@ -84,9 +98,12 @@ func newBenchCollector(workers int, seeds []uint64) *benchCollector {
 }
 
 // cellDone is the harness CellDone hook; safe for concurrent calls.
-func (b *benchCollector) cellDone(_ exp.Cell, sim uint64) {
+func (b *benchCollector) cellDone(_ exp.Cell, res exp.CellResult) {
 	b.cells.Add(1)
-	b.simCycles.Add(sim)
+	b.simCycles.Add(res.SimCycles)
+	b.mu.Lock()
+	b.sched.Add(res.Sched)
+	b.mu.Unlock()
 }
 
 // begin opens a section: zeroes the cell counters and stamps the clock.
@@ -120,6 +137,9 @@ func (b *benchCollector) end(name string) {
 
 // write measures the hot paths and writes the JSON artefact.
 func (b *benchCollector) write(path string) error {
+	b.mu.Lock()
+	b.report.SchedStats = b.sched
+	b.mu.Unlock()
 	b.report.HotPaths = measureHotPaths()
 	data, err := json.MarshalIndent(&b.report, "", "  ")
 	if err != nil {

@@ -393,6 +393,26 @@ func (h *Hierarchy) AccessVersioned(line mem.Line) uint64 {
 	return h.cfg.MemLatency + indirection
 }
 
+// PredictedHit reports, without touching any cache state, whether an
+// Access/AccessVersioned of line would take the L1 predicted-hit fast
+// path — a single tag compare against the set's MRU way that charges
+// L1Latency and mutates nothing (no clock tick, no stamp write, no MRU
+// repoint, no lower-level traffic). Engines use it to certify an access
+// as non-interacting before batching it past the conductor's heap root
+// (sched.Thread.TickHinted): a predicted hit is purely observational, so
+// it commutes with anything a parked thread could do below the horizon.
+//
+// In Reference mode it always reports false: the oracle hierarchy's hits
+// rewrite LRU stamps, so no access is mutation-free there.
+func (h *Hierarchy) PredictedHit(line mem.Line) bool {
+	if h.ref != nil {
+		return false
+	}
+	l1 := h.l1
+	set := l1.setOf(line)
+	return line != 0 && l1.tags[set*l1.ways+int(l1.mru[set])] == line
+}
+
 // Invalidate drops line from the private caches of this core, the cached
 // translation and the partition-resident version-list line — the full
 // per-core invalidation of §4.4. Engines that split the work (see

@@ -129,6 +129,16 @@ type Engine struct {
 	// slow holds the reference map-based implementation state (slow.go),
 	// nil unless cfg.ReferenceSets.
 	slow *slowState
+
+	// batch enables the horizon-batched access path (sched.TickHinted):
+	// plain SI-TM with the fast cache model, fast access sets and no
+	// tracer. SSI-TM is excluded — its read paths mutate shared reader
+	// tables and its read-only commits take order-sensitive clock reads —
+	// as are the reference models, whose hits rewrite observable state.
+	// batchable holds the configuration-derived part; batch additionally
+	// requires no tracer (SetTracer recomputes it).
+	batch     bool
+	batchable bool
 }
 
 // New creates an SI-TM engine.
@@ -149,6 +159,8 @@ func New(cfg Config) *Engine {
 	if cfg.ReferenceSets {
 		e.slow = newSlowState(cfg.Serializable)
 	}
+	e.batchable = !cfg.Serializable && !cfg.ReferenceSets && !cfg.Cache.Reference
+	e.batch = e.batchable
 	return e
 }
 
@@ -168,8 +180,12 @@ func (e *Engine) Stats() *tm.Stats { return &e.stats }
 // data versions (§5.1).
 func (e *Engine) Promote(site string) { e.promoted[site] = true }
 
-// SetTracer implements tm.Engine.
-func (e *Engine) SetTracer(tr tm.Tracer) { e.tracer = tr }
+// SetTracer implements tm.Engine. Tracing pins the per-access event
+// order, so it also disables the horizon-batched access path.
+func (e *Engine) SetTracer(tr tm.Tracer) {
+	e.tracer = tr
+	e.batch = e.batchable && tr == nil
+}
 
 // MVM exposes the engine's multiversioned memory for measurement
 // (Table 2 / Appendix A statistics).
@@ -392,6 +408,17 @@ func (e *Engine) Begin(t *sched.Thread) tm.Txn {
 	if e.tracer != nil {
 		e.tracer.TxnBegin(tx.id, t.ID())
 	}
+	if e.batch {
+		// Publish the interaction slack backing the horizon-batched
+		// path: from any parked position outside the writer-commit
+		// critical section, this thread's next horizon-relevant effect
+		// (install, invalidation, presence drain, revert) sits behind
+		// the commit-entry Tick(CommitOverhead) plus at least one
+		// charged line access, so it lands at least CommitOverhead +
+		// L1Latency cycles past the parked key. Commit zeroes the slack
+		// before entering the critical section.
+		t.SetSlack(e.cfg.CommitOverhead + e.cfg.Cache.L1Latency)
+	}
 	t.Tick(2) // atomic increment of the global timestamp counter
 	return tx
 }
@@ -437,6 +464,12 @@ func (x *txn) Site(s string) tm.Txn {
 // Read implements tm.Txn: the most current version older than the start
 // timestamp is returned (§4.2, TM READ), unless the transaction itself
 // wrote the word.
+// Fence ends any batched scheduling quantum of the transaction's thread
+// (txlib's in-transaction allocator calls it so that shared
+// non-transactional effects — bump allocations — happen in simulated
+// order; see sched.Thread.Fence). A no-op outside horizon batching.
+func (x *txn) Fence() { x.t.Fence() }
+
 func (x *txn) Read(a mem.Addr) uint64 {
 	// Most workloads never promote a site; the len guard keeps the
 	// string-keyed map hash off the per-read hot path in that case.
@@ -454,7 +487,19 @@ func (x *txn) read(a mem.Addr) uint64 {
 	// access may fill both the data line and its translation.
 	x.e.presence.Note(line, x.selfBit)
 	x.e.xpresence.Note(cache.XlateLine(line), x.selfBit)
-	x.t.Tick(x.h.AccessVersioned(line))
+	if x.e.batch && x.h.PredictedHit(line) {
+		// Certified non-interacting: the presence Notes above are blind
+		// ORs and a predicted L1 hit mutates no cache state, so this
+		// event may run inside a batched quantum past the heap root
+		// (DESIGN.md "Horizon batching"). The snapshot read below is
+		// pinned too — any concurrent install sits behind the horizon.
+		x.t.TickHinted(x.h.AccessVersioned(line))
+	} else {
+		// A miss (or scan-path hit) fills and evicts — including shared
+		// L3 state — so it must happen at the per-event point.
+		x.t.Fence()
+		x.t.Tick(x.h.AccessVersioned(line))
+	}
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
@@ -486,7 +531,14 @@ func (x *txn) ReadPromoted(a mem.Addr) uint64 {
 func (x *txn) Write(a mem.Addr, v uint64) {
 	line := mem.LineOf(a)
 	x.e.presence.Note(line, x.selfBit)
-	x.t.Tick(x.h.Access(line)) // write into the private cache
+	if x.e.batch && x.h.PredictedHit(line) {
+		// Same certification as read: a predicted L1 hit plus the local
+		// write-set store interacts with nothing inside the horizon.
+		x.t.TickHinted(x.h.Access(line))
+	} else {
+		x.t.Fence()
+		x.t.Tick(x.h.Access(line)) // write into the private cache
+	}
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
 	}
@@ -597,7 +649,9 @@ func (x *txn) Commit() error {
 	if x.writes.Len() == 0 && x.promoted.Len() == 0 {
 		// Read-only: no end timestamp, no checks (§4.2). Under
 		// SSI-TM the reader records persist so later writers still see
-		// the antidependencies this reader induced.
+		// the antidependencies this reader induced. The clock read is
+		// order-sensitive, so end any batched quantum first.
+		x.t.Fence()
 		x.committed = true
 		x.end = x.e.clk.Now()
 		x.release()
@@ -609,6 +663,12 @@ func (x *txn) Commit() error {
 		return nil
 	}
 
+	// Entering the writer-commit critical section: installs,
+	// invalidations and presence drains follow, so the published slack
+	// must drop to zero before the commit-overhead charge (a batching
+	// thread reading the old slack across this Tick's yield would admit
+	// events the install below could invalidate). Restored on every exit.
+	x.t.SetSlack(0)
 	x.t.Tick(x.e.cfg.CommitOverhead)
 	end := x.e.clk.ReserveEnd()
 
@@ -668,6 +728,7 @@ func (x *txn) Commit() error {
 			// transaction's words.
 			base = x.e.mem.NewestLine(line)
 		}
+		x.t.Interact() // install: audited horizon-relevant effect
 		undo, err := x.e.mem.Install(line, end, base, mask, &w.Words)
 		if err != nil {
 			return x.commitAbortReserved(end, line, tm.AbortCapacity)
@@ -717,6 +778,7 @@ func (x *txn) Commit() error {
 	// when another core exists, matching the per-other-core fused
 	// invalidation this replaces (a solo committer never invalidated
 	// the partition, and partition residency is observable latency).
+	x.t.Interact() // drains + invalidations: audited horizon-relevant effects
 	for _, line := range x.writes.Lines() {
 		for others := x.e.presence.Drain(line, x.selfBit); others != 0; {
 			id := bits.TrailingZeros64(others)
@@ -746,9 +808,19 @@ func (x *txn) Commit() error {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnCommit(x.id)
 	}
-	x.t.WakeAll() // release starters stalled on the commit window
+	x.commitSlack() // critical section over: re-publish the slack
+	x.t.WakeAll()   // release starters stalled on the commit window
 	x.t.Tick(2)
 	return nil
+}
+
+// commitSlack re-publishes the out-of-critical-section interaction slack
+// once a writer commit or rollback has finished its installs, drains and
+// reverts (see Engine.Begin for the promise it encodes).
+func (x *txn) commitSlack() {
+	if x.e.batch {
+		x.t.SetSlack(x.e.cfg.CommitOverhead + x.e.cfg.Cache.L1Latency)
+	}
 }
 
 // changedMaskWords returns the subset of the write mask whose words
@@ -845,10 +917,12 @@ func (x *txn) commitAbortReserved(end clock.Timestamp, line mem.Line, kind tm.Ab
 	for i := len(x.installBuf) - 1; i >= 0; i-- {
 		x.e.presence.Note(x.installBuf[i].line, x.selfBit)
 		x.t.Tick(x.h.Access(x.installBuf[i].line))
+		x.t.Interact() // revert: audited horizon-relevant effect
 		x.e.mem.Revert(x.installBuf[i].line, end, x.installBuf[i].undo)
 	}
 	x.e.clk.CompleteEnd(end)
 	x.finishAbort(kind)
+	x.commitSlack() // critical section over: re-publish the slack
 	x.t.WakeAll()
 	return &tm.AbortError{Kind: kind, Line: line}
 }

@@ -58,6 +58,12 @@ type CellConfig struct {
 	// RefSched runs the cell under the reference linear-scan conductor
 	// (sched.Sim.Slow) instead of the inline fast path.
 	RefSched bool `json:"ref_sched,omitempty"`
+	// PerEvent runs the heap conductor with horizon batching disabled
+	// (sched.Sim.SetPerEvent): every charge goes through the per-event
+	// protocol. It is the differential baseline the batched conductor is
+	// pinned against, and the reference point for the coroutine-switch
+	// counters in sched_stats.
+	PerEvent bool `json:"per_event,omitempty"`
 	// RefCache runs the cell with the reference memory-hierarchy model
 	// (cache.SlowHierarchy) instead of the way-predicted fast path.
 	RefCache bool `json:"ref_cache,omitempty"`
@@ -110,6 +116,12 @@ type CellResult struct {
 	MVM         mvm.Stats `json:"mvm"`
 	ValidateMsg string    `json:"validate_msg,omitempty"`
 
+	// Sched counts the conductor's work for the cell (deterministic, so
+	// cacheable like every other counter). Diagnostic only: no figure or
+	// table renders it, so batched and per-event runs of the same cell
+	// produce byte-identical figures while differing here.
+	Sched sched.Stats `json:"sched_stats"`
+
 	// Filled only under CellConfig.MeasureMVM (the §3.1–§3.3 report).
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
 	SharablePct float64 `json:"sharable_pct,omitempty"`
@@ -160,6 +172,7 @@ func ExecuteCell(c Cell, cfg CellConfig, factory func() Workload, warm WarmState
 	m := txlib.NewMem(e)
 	w.Setup(m, c.Threads)
 	s := sched.New(c.Threads, c.Seed)
+	s.SetPerEvent(cfg.PerEvent)
 	body := func(th *sched.Thread) { w.Run(m, th, warm.bo) }
 	if cfg.RefSched {
 		s.Slow(body)
@@ -177,6 +190,7 @@ func ExecuteCell(c Cell, cfg CellConfig, factory func() Workload, warm WarmState
 		OtherAborts: st.Aborts[tm.AbortOrder] + st.Aborts[tm.AbortCapacity] + st.Aborts[tm.AbortSkew],
 		SimCycles:   s.Makespan(),
 		ValidateMsg: w.Validate(m),
+		Sched:       s.Stats(),
 	}
 	if si, ok := e.(*core.Engine); ok {
 		res.MVM = si.MVM().Stats()
@@ -211,9 +225,9 @@ type CellRunner struct {
 	// resolves to CurrentProvenance() when a cache is configured.
 	Prov Provenance
 	// CellDone, when non-nil, receives every completed cell (hit or
-	// computed) and its simulated makespan in cycles. It is called from
-	// worker goroutines concurrently; callers must synchronise.
-	CellDone func(c Cell, simCycles uint64)
+	// computed) and its full result. It is called from worker goroutines
+	// concurrently; callers must synchronise.
+	CellDone func(c Cell, res CellResult)
 }
 
 // Run executes every cell of plan, serving cells from the cache where
@@ -249,7 +263,7 @@ func (cr CellRunner) Run(plan Plan) ([]Result[CellResult], error) {
 				key = prov.CellKey(c, cr.Config)
 				if res, ok := cache.Get(key); ok {
 					if cr.CellDone != nil {
-						cr.CellDone(c, res.SimCycles)
+						cr.CellDone(c, res)
 					}
 					return res, true
 				}
@@ -265,7 +279,7 @@ func (cr CellRunner) Run(plan Plan) ([]Result[CellResult], error) {
 				}
 			}
 			if cr.CellDone != nil {
-				cr.CellDone(c, res.SimCycles)
+				cr.CellDone(c, res)
 			}
 			return res, false
 		})

@@ -102,12 +102,19 @@ type Options struct {
 	// larger values approach the paper's configurations at the cost of
 	// wall-clock time).
 	Scale int
+	// PerEvent runs the fast heap conductor with horizon batching
+	// disabled: every charge goes through the per-event protocol, as it
+	// did before multi-event quanta existed. Figures are byte-identical
+	// either way — the knob exists as the differential baseline for the
+	// batched conductor and as the reference point for the
+	// coroutine-switch counters in sched_stats.
+	PerEvent bool
 	// CellDone, when non-nil, receives every completed cell and its
-	// simulated makespan in cycles (the benchmark harness sums these
-	// into a simulated-throughput figure). It is called from worker
-	// goroutines concurrently; callers must synchronise, e.g. with an
-	// atomic counter.
-	CellDone func(c exp.Cell, simCycles uint64)
+	// full result record (the benchmark harness sums makespans into a
+	// simulated-throughput figure and accumulates scheduler counters).
+	// It is called from worker goroutines concurrently; callers must
+	// synchronise, e.g. with a mutex or atomic counters.
+	CellDone func(c exp.Cell, res exp.CellResult)
 
 	// measureMVM additionally runs the §3.1–§3.3 MVM measurements
 	// (overheads, dedup) per cell; set internally by MVMReport.
@@ -153,6 +160,7 @@ func (o Options) cellConfig() exp.CellConfig {
 		Scale:             o.Scale,
 		MeasureMVM:        o.measureMVM,
 		RefSched:          o.refSched,
+		PerEvent:          o.PerEvent,
 		RefCache:          o.refCache,
 		RefSets:           o.refSets,
 	}

@@ -2,10 +2,12 @@ package harness
 
 import (
 	"bytes"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/sched"
 )
 
 // figureBytes renders Figure 7 and Figure 8 for a restricted workload set
@@ -38,15 +40,55 @@ func TestFiguresByteIdenticalFastVsSlow(t *testing.T) {
 	}
 }
 
+// TestFiguresByteIdenticalBatchedVsPerEvent is the acceptance gate for
+// horizon batching at the report level: the Figure 7 and Figure 8 tables
+// must be byte-identical whether the conductor runs multi-event quanta
+// (the default) or schedules strictly per event (Options.PerEvent, the
+// -per-event flag). It also asserts batching actually engaged — cells
+// must report batched events and strictly fewer coroutine switches than
+// the per-event baseline, or the gate would pass vacuously.
+func TestFiguresByteIdenticalBatchedVsPerEvent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full figure sweeps")
+	}
+	var batched, perEvent sched.Stats
+	collect := func(into *sched.Stats) func(exp.Cell, exp.CellResult) {
+		var mu sync.Mutex
+		return func(_ exp.Cell, res exp.CellResult) {
+			mu.Lock()
+			into.Add(res.Sched)
+			mu.Unlock()
+		}
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"List"}, CellDone: collect(&batched)}
+	fast := figureBytes(t, o)
+	o.PerEvent = true
+	o.CellDone = collect(&perEvent)
+	ref := figureBytes(t, o)
+	if !bytes.Equal(fast, ref) {
+		t.Fatalf("figure output diverges between batched and per-event conductors:\n--- batched ---\n%s\n--- per-event ---\n%s", fast, ref)
+	}
+	if batched.BatchedEvents == 0 {
+		t.Fatalf("batched sweep ran no batched events: %+v", batched)
+	}
+	if perEvent.BatchedEvents != 0 {
+		t.Fatalf("per-event sweep batched %d events", perEvent.BatchedEvents)
+	}
+	if batched.CoroutineSwitches >= perEvent.CoroutineSwitches {
+		t.Fatalf("batched sweep switched %d times, per-event %d: batching should reduce switches",
+			batched.CoroutineSwitches, perEvent.CoroutineSwitches)
+	}
+}
+
 // TestCellDoneReportsSimulatedCycles checks the benchmark hook: every
 // cell reports its makespan, the totals are deterministic, and the sum
 // matches the per-result makespans the report aggregates.
 func TestCellDoneReportsSimulatedCycles(t *testing.T) {
 	run := func() (uint64, uint64) {
 		var cells, cycles atomic.Uint64
-		o := Options{Seeds: []uint64{1, 2}, CellDone: func(_ exp.Cell, sim uint64) {
+		o := Options{Seeds: []uint64{1, 2}, CellDone: func(_ exp.Cell, res exp.CellResult) {
 			cells.Add(1)
-			cycles.Add(sim)
+			cycles.Add(res.SimCycles)
 		}}
 		f, err := WorkloadByName("Array")
 		if err != nil {

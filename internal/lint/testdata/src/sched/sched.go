@@ -12,3 +12,14 @@ func (t *Thread) Tick(c uint64) { t.cycles += c }
 
 // Stall parks the thread until woken: also a yield point.
 func (t *Thread) Stall() {}
+
+// TickHinted charges c cycles for a certified non-interacting event: a
+// yield point under the reference conductors, so a charge for yieldlint.
+func (t *Thread) TickHinted(c uint64) { t.cycles += c }
+
+// LocalTick charges c cycles of purely thread-local work: also a charge.
+func (t *Thread) LocalTick(c uint64) { t.cycles += c }
+
+// Fence ends a batched quantum without charging: NOT a yield point under
+// the reference conductors, so not a charge for yieldlint.
+func (t *Thread) Fence() {}

@@ -79,5 +79,28 @@ func (e *Engine) spinB(a mem.Addr, n int) uint64 {
 	return e.spinA(a, n)
 }
 
+// ReadHinted charges through the batched hint API: TickHinted behaves
+// exactly like Tick under the reference conductors, so it covers the
+// touch.
+func (e *Engine) ReadHinted(t *sched.Thread, a mem.Addr) uint64 {
+	t.TickHinted(4)
+	v, _ := e.mem.ReadWord(a, 0)
+	return v
+}
+
+// Backoff charges through LocalTick: also a covering charge.
+func (e *Engine) Backoff(t *sched.Thread, a mem.Addr) uint64 {
+	t.LocalTick(16)
+	return e.words.Load(uint64(a))
+}
+
+// FencedPeek only fences: Fence charges nothing and never yields under
+// the reference conductors, so the touch is still uncovered.
+func (e *Engine) FencedPeek(t *sched.Thread, a mem.Addr) uint64 { // want "exported entry points must charge in their own body"
+	t.Fence()
+	v, _ := e.mem.ReadWord(a, 0)
+	return v
+}
+
 // Stats touches no storage: metadata calls are not accesses.
 func (e *Engine) Stats() int { return e.mem.Stats() }

@@ -165,13 +165,21 @@ func runYieldLint(pass *Pass) error {
 	return nil
 }
 
-// isYieldCharge matches sched.Thread's Tick and Stall methods — the only
-// operations that hand control back to the conductor.
+// isYieldCharge matches sched.Thread's charging methods — the operations
+// that hand control back to the conductor. TickHinted and LocalTick
+// count: under the reference conductors the model checker enumerates
+// with, both behave exactly like Tick, so an access behind them is a
+// decision point the enumeration does interleave (the batching they
+// enable under the heap conductor is separately proven observation-
+// equivalent by the differential oracles). Fence does NOT count — it
+// charges nothing and is a no-op under the reference conductors, so it
+// never yields where the model checker looks.
 func isYieldCharge(obj types.Object) bool {
-	if obj.Name() != "Tick" && obj.Name() != "Stall" {
-		return false
+	switch obj.Name() {
+	case "Tick", "Stall", "TickHinted", "LocalTick":
+		return receiverInPackage(obj, "sched", "Thread")
 	}
-	return receiverInPackage(obj, "sched", "Thread")
+	return false
 }
 
 // isYieldTouch reports whether obj is a simulated-storage access method

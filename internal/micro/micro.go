@@ -58,7 +58,7 @@ func (a *Array) Setup(m *txlib.Mem, threads int) {
 func (a *Array) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < a.TxnsPerThread; i++ {
-		th.Tick(a.InterTxnCycles)
+		th.LocalTick(a.InterTxnCycles)
 		if r.Intn(100) < a.LongRatioPct {
 			// Long-running read transaction: iterate the array.
 			_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
@@ -67,7 +67,7 @@ func (a *Array) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 			})
 		} else {
 			// Short update transaction: two random elements.
-			th.Tick(a.UpdateThinkCycles)
+			th.LocalTick(a.UpdateThinkCycles)
 			i1, i2 := r.Intn(a.Entries), r.Intn(a.Entries)
 			_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
 				a.vec.Add(tx, i1, 1)
@@ -120,7 +120,7 @@ func (l *List) Setup(m *txlib.Mem, threads int) {
 func (l *List) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < l.TxnsPerThread; i++ {
-		th.Tick(l.InterTxnCycles)
+		th.LocalTick(l.InterTxnCycles)
 		k := uint64(1 + r.Intn(l.KeyRange))
 		op := r.Intn(100)
 		_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {
@@ -192,7 +192,7 @@ func (t *RBTree) Setup(m *txlib.Mem, threads int) {
 func (t *RBTree) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < t.TxnsPerThread; i++ {
-		th.Tick(t.InterTxnCycles)
+		th.LocalTick(t.InterTxnCycles)
 		k := uint64(1 + r.Intn(t.KeyRange))
 		op := r.Intn(100)
 		_ = tm.Atomic(m.E, th, bo, func(tx tm.Txn) error {

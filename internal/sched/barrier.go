@@ -24,6 +24,9 @@ func NewBarrier(n int) *Barrier {
 // The barrier is reusable: generation counting separates successive
 // phases.
 func (b *Barrier) Wait(t *Thread) {
+	// Arrival order decides who releases the barrier, so it must happen
+	// at the per-event scheduling point: end any batched quantum first.
+	t.Fence()
 	gen := b.gen
 	b.arrived++
 	if b.arrived == b.n {

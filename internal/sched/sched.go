@@ -39,6 +39,15 @@ type Thread struct {
 	cycles uint64
 	rng    *Rand
 
+	// slack is the thread's published interaction slack: a promise that,
+	// from any point where the thread is parked, it will charge strictly
+	// more than slack cycles before performing its next non-commuting
+	// effect on simulated shared state (an MVM install or revert, a cache
+	// invalidation, a presence drain). The horizon conductor uses parked
+	// threads' slacks to extend another thread's quantum past their cycle
+	// counters; see TickHinted. Zero — the default — promises nothing.
+	slack uint64
+
 	// yield suspends the thread's coroutine and returns control to the
 	// conductor's resume call; resume restarts it. Both are rebuilt by
 	// start for every Run/Slow invocation.
@@ -74,14 +83,145 @@ func (t *Thread) Tick(c uint64) {
 	s := t.sim
 	if s.fast {
 		if len(s.runq) == 0 {
+			s.stats.InlineTicks++
 			return
 		}
 		if r := &s.runq[0]; t.cycles < r.cycles || (t.cycles == r.cycles && int32(t.id) < r.id) {
+			s.stats.InlineTicks++
 			return
 		}
 	}
 	if !t.yield(struct{}{}) {
 		panic("sched: thread resumed after its conductor stopped")
+	}
+}
+
+// LocalTick charges c simulated cycles for work that is purely
+// thread-local: the inter-yield segment it covers performs no effect on
+// simulated shared state at all (workload think time, backoff delays).
+// Under the heap conductor it is a pure counter charge — no root check,
+// no yield — because a charge with no attached effects commutes with
+// every other thread's events: delaying the handoff cannot change what
+// any thread observes. Under the reference conductors (Slow, RunChoose)
+// and in per-event mode it behaves exactly like Tick, so the differential
+// oracles and the model checker see an unchanged per-event machine.
+//
+// The caller must not touch simulated shared state between a LocalTick
+// and the next Tick, TickHinted, Fence or Stall unless that touch is
+// itself certified commuting (see TickHinted); tm.Atomic fences before
+// Engine.Begin so transaction boundaries re-synchronise automatically.
+func (t *Thread) LocalTick(c uint64) {
+	t.cycles += c
+	s := t.sim
+	if s.fast && !s.perEvent {
+		s.stats.LocalTicks++
+		return
+	}
+	if s.fast {
+		if len(s.runq) == 0 {
+			s.stats.InlineTicks++
+			return
+		}
+		if r := &s.runq[0]; t.cycles < r.cycles || (t.cycles == r.cycles && int32(t.id) < r.id) {
+			s.stats.InlineTicks++
+			return
+		}
+	}
+	if !t.yield(struct{}{}) {
+		panic("sched: thread resumed after its conductor stopped")
+	}
+}
+
+// TickHinted charges c simulated cycles for an event the caller has
+// certified non-interacting: until the thread's next Tick, TickHinted,
+// Fence or Stall it will only perform effects that commute with anything
+// a parked thread could do inside the horizon — blind presence ORs,
+// mutation-free way-predicted cache hits, snapshot reads whose outcome is
+// pinned by the parked threads' published slacks, and pure local work.
+//
+// Under the heap conductor it first takes Tick's inline path (still
+// ordered before the heap root). Past the root it may *batch*: if the
+// post-charge key is still strictly below the horizon — the minimum over
+// parked runnable threads of (frozen cycle counter + published slack) —
+// the thread keeps running inline, because no parked thread can perform
+// a non-commuting effect below that bound (Thread.slack) and the batched
+// events themselves were certified commuting by the caller. Otherwise it
+// yields like Tick. Under the reference conductors and in per-event mode
+// it is exactly Tick.
+func (t *Thread) TickHinted(c uint64) {
+	t.cycles += c
+	s := t.sim
+	if s.fast {
+		if len(s.runq) == 0 {
+			s.stats.InlineTicks++
+			return
+		}
+		if r := &s.runq[0]; t.cycles < r.cycles || (t.cycles == r.cycles && int32(t.id) < r.id) {
+			s.stats.InlineTicks++
+			return
+		}
+		if !s.perEvent && t.cycles < s.horizon() {
+			s.stats.BatchedEvents++
+			if t.cycles > s.maxBatchedKey {
+				s.maxBatchedKey = t.cycles
+			}
+			return
+		}
+	}
+	if !t.yield(struct{}{}) {
+		panic("sched: thread resumed after its conductor stopped")
+	}
+}
+
+// Fence ends any batched quantum: under the heap conductor it yields if
+// the thread has charged past the heap root (exactly Tick(0)); everywhere
+// else — the reference conductors, per-event mode, or a thread still
+// ordered before the root — it is a no-op. Call it before an effect that
+// does not commute with parked threads' events when the preceding charges
+// went through LocalTick/TickHinted; tm.Atomic fences once per attempt,
+// which covers every engine's Begin-side clock and stall logic.
+func (t *Thread) Fence() {
+	s := t.sim
+	if !s.fast || s.perEvent {
+		return
+	}
+	if len(s.runq) == 0 {
+		return
+	}
+	if r := &s.runq[0]; t.cycles < r.cycles || (t.cycles == r.cycles && int32(t.id) < r.id) {
+		return
+	}
+	if !t.yield(struct{}{}) {
+		panic("sched: thread resumed after its conductor stopped")
+	}
+}
+
+// SetSlack publishes the calling thread's interaction slack: a promise
+// that from any parked position it will charge strictly more than s
+// cycles before its next non-commuting shared-state effect. Engines set
+// it at phase boundaries (e.g. SI-TM holds CommitOverhead outside the
+// writer-commit critical section and zero inside it) and must only ever
+// set their own thread's slack. A stale promise is caught by Interact.
+func (t *Thread) SetSlack(s uint64) {
+	t.slack = s
+}
+
+// Slack returns the thread's published interaction slack.
+func (t *Thread) Slack() uint64 { return t.slack }
+
+// Interact is the audit hook guarding the horizon machinery: engines call
+// it at every non-commuting shared-state effect (installs, invalidations,
+// presence drains, reverts). If any thread has already batched an event
+// at a simulated key above the caller's current key, the conductor
+// admitted an interleaving the per-event machine would have ordered
+// differently — a stale slack promise — and the simulation is unsound,
+// so Interact panics rather than let the divergence propagate silently.
+func (t *Thread) Interact() {
+	s := t.sim
+	if t.cycles < s.maxBatchedKey {
+		panic(fmt.Sprintf(
+			"sched: thread %d interacts with shared state at cycle %d below the batched horizon %d — a published slack promise was stale",
+			t.id, t.cycles, s.maxBatchedKey))
 	}
 }
 
@@ -119,6 +259,82 @@ type Sim struct {
 	// unset so every Tick reaches its linear-scan conductor.
 	runq []runqEnt
 	fast bool
+
+	// perEvent disables the horizon batching extensions while keeping the
+	// heap conductor: LocalTick and TickHinted degrade to exactly Tick and
+	// Fence to a no-op, reproducing the pre-horizon per-event conductor.
+	// It is the differential baseline for the batched path.
+	perEvent bool
+
+	// horizonKey caches the current horizon — min over parked runnable
+	// threads of (frozen cycles + published slack) — and horizonGen/heapGen
+	// invalidate it: the run queue only changes at conductor handoffs, so
+	// one recomputation per handoff serves an entire batched quantum.
+	horizonKey uint64
+	horizonGen uint64
+	heapGen    uint64
+
+	// maxBatchedKey is the highest simulated key at which any thread has
+	// batched an event past the heap root; Interact audits against it.
+	maxBatchedKey uint64
+
+	stats Stats
+}
+
+// Stats counts conductor work for one Run/Slow invocation; reset at the
+// start of each. It quantifies the coroutine-switch tax the horizon
+// batching attacks (surfaced as the sched_stats section of
+// sitm-bench -json).
+type Stats struct {
+	// CoroutineSwitches is the number of coroutine resumes the conductor
+	// performed — each is a Go-runtime switch plus heap traffic.
+	CoroutineSwitches uint64 `json:"coroutine_switches"`
+	// InlineTicks counts charges that returned inline while the thread
+	// was still ordered before the heap root (the PR 3 fast path).
+	InlineTicks uint64 `json:"inline_ticks"`
+	// BatchedEvents counts charges that returned inline past the heap
+	// root because they stayed below the horizon (multi-event quanta).
+	BatchedEvents uint64 `json:"batched_events"`
+	// LocalTicks counts pure thread-local charges that skipped the
+	// conductor entirely.
+	LocalTicks uint64 `json:"local_ticks"`
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.CoroutineSwitches += other.CoroutineSwitches
+	s.InlineTicks += other.InlineTicks
+	s.BatchedEvents += other.BatchedEvents
+	s.LocalTicks += other.LocalTicks
+}
+
+// Stats returns the conductor counters of the last Run/Slow invocation.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// SetPerEvent toggles per-event mode: with on, the heap conductor runs
+// every charge through the pre-horizon per-event protocol (LocalTick and
+// TickHinted behave exactly like Tick), providing the differential
+// baseline the batched conductor is pinned against.
+func (s *Sim) SetPerEvent(on bool) { s.perEvent = on }
+
+// horizon returns the cached horizon for the current handoff, recomputing
+// it if the run queue changed. A parked thread's counter is frozen and
+// its slack can only be rewritten by itself (so not while parked), which
+// makes the cached value exact for the duration of a quantum.
+func (s *Sim) horizon() uint64 {
+	if s.horizonGen == s.heapGen {
+		return s.horizonKey
+	}
+	var h uint64
+	for i := range s.runq {
+		ent := &s.runq[i]
+		if k := ent.cycles + ent.t.slack; i == 0 || k < h {
+			h = k
+		}
+	}
+	s.horizonKey = h
+	s.horizonGen = s.heapGen
+	return h
 }
 
 // runqEnt is one heap slot: the thread plus an inline copy of its sort
@@ -211,10 +427,11 @@ func (s *Sim) WakeAll(waker *Thread) {
 // each node's children in one or two cache lines. Heap arity is not
 // observable — every pop still returns the unique (cycles, id) minimum,
 // so the interleaving is identical to any other heap's.
-const heapArity = 2
+const heapArity = 4
 
 // push inserts t into the run-queue heap.
 func (s *Sim) push(t *Thread) {
+	s.heapGen++
 	s.runq = append(s.runq, entOf(t))
 	i := len(s.runq) - 1
 	for i > 0 {
@@ -229,6 +446,7 @@ func (s *Sim) push(t *Thread) {
 
 // pop removes and returns the heap's minimum (cycles, id) thread.
 func (s *Sim) pop() *Thread {
+	s.heapGen++
 	min := s.runq[0].t
 	last := len(s.runq) - 1
 	s.runq[0] = s.runq[last]
@@ -244,6 +462,7 @@ func (s *Sim) pop() *Thread {
 // is by construction no longer ordered before the root, so pop-then-push
 // would sift twice for the same result.
 func (s *Sim) replaceTop(t *Thread) *Thread {
+	s.heapGen++
 	min := s.runq[0].t
 	s.runq[0] = entOf(t)
 	s.siftDown()
@@ -295,8 +514,11 @@ func (s *Sim) siftDown() {
 // body when first resumed; yielding inside Tick/Stall switches straight
 // back to the conductor's resume call.
 func (s *Sim) start(body func(*Thread)) int {
+	s.stats = Stats{}
+	s.maxBatchedKey = 0
 	for _, t := range s.threads {
 		t.done = false
+		t.slack = 0
 		t.resume, _ = iter.Pull(func(yield func(struct{}) bool) {
 			t.yield = yield
 			body(t)
@@ -324,6 +546,7 @@ func (s *Sim) Run(body func(*Thread)) {
 	}
 	next := s.pop()
 	for {
+		s.stats.CoroutineSwitches++
 		if _, ok := next.resume(); !ok {
 			// The coroutine ran body to completion.
 			next.done = true
@@ -376,6 +599,7 @@ func (s *Sim) Slow(body func(*Thread)) {
 		if next == nil {
 			panic("sched: deadlock — all live threads stalled")
 		}
+		s.stats.CoroutineSwitches++
 		if _, ok := next.resume(); !ok {
 			next.done = true
 			live--

@@ -370,6 +370,15 @@ func (x *txn) Read(a mem.Addr) uint64 {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
+	// The SON interval update reads the shared write-number table. The
+	// read itself would be safe to batch (write numbers only change
+	// inside writer commits), but SONTM can never publish interaction
+	// slack: a writer commit charges its whole cost in one trailing
+	// Tick, so the broadcast dooms peers at the committer's previous
+	// park position — zero charge-distance after the park. Any nonzero
+	// slack promise at Begin would let a peer batch past a doom that
+	// logically precedes its reads. See DESIGN.md, "Horizon batching".
+	x.t.Interact()
 	if line != x.lastRead {
 		x.readSet.Add(line)
 		x.lastRead = line
@@ -396,6 +405,7 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnWrite(x.id, a, x.site)
 	}
+	x.t.Interact() // per event: no sound slack exists (see Read)
 	x.writes.Store(a, v)
 	x.raiseLo(x.e.writeNums.Load(uint64(line))+1, line)
 	x.checkDoom()
@@ -482,7 +492,14 @@ func (x *txn) Commit() error {
 	}
 
 	// Broadcast the write set: concurrent readers of these lines must
-	// serialize before us; concurrent writers after us.
+	// serialize before us; concurrent writers after us. These effects
+	// execute at the park position of the transaction's LAST access —
+	// the commit cost is charged in one trailing Tick below — which is
+	// why SONTM threads can never promise interaction slack: the doom
+	// lands at charge-distance zero from a park. Splitting the charge
+	// to land effects later (as core does) would move the broadcast to
+	// a different simulated cycle and change figure bytes.
+	x.t.Interact() // interval broadcast + write-back: per-event interactions
 	for _, line := range x.writes.Lines() {
 		for _, other := range x.e.active {
 			if other == x || other.finished {

@@ -49,7 +49,7 @@ func (w *Bayes) Setup(m *txlib.Mem, threads int) {
 func (w *Bayes) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < w.TasksPerThread; i++ {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		if r.Intn(100) < w.ReadOnlyPct {
 			// Pure score query: long read-only scan of the
 			// adjacency state.

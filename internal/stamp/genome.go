@@ -44,7 +44,7 @@ func (g *Genome) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	// Phase 1: segment deduplication — insert-if-absent transactions.
 	for i := 0; i < g.Segments; i++ {
-		th.Tick(g.InterTxnCycles)
+		th.LocalTick(g.InterTxnCycles)
 		seg := uint64(1 + r.Intn(g.KeySpace))
 		atomicOp(m, th, bo, func(tx tm.Txn) error {
 			g.table.Insert(tx, seg, seg)
@@ -57,7 +57,7 @@ func (g *Genome) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	// Phase 2: overlap matching — probe several candidate suffixes
 	// (reads), then record one link (single write).
 	for i := 0; i < g.Segments; i++ {
-		th.Tick(g.InterTxnCycles)
+		th.LocalTick(g.InterTxnCycles)
 		seg := uint64(1 + r.Intn(g.KeySpace))
 		atomicOp(m, th, bo, func(tx tm.Txn) error {
 			var match uint64

@@ -70,7 +70,7 @@ func (w *Intruder) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	full := uint64(1)<<w.FragmentsPerFlow - 1
 	handled := 0
 	for handled < w.PacketsPerThread {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		// Transaction 1: grab a batch of packets from the shared
 		// queue.
 		var batch []uint64
@@ -92,7 +92,7 @@ func (w *Intruder) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 			handled++
 			// Decode the fragment — thread-local work between
 			// the transactions, as in the original application.
-			th.Tick(w.DecodeCycles)
+			th.LocalTick(w.DecodeCycles)
 			flow, frag := pkt>>8, pkt&0xff
 			// Transaction 2: reassemble — traverse the session
 			// list to the flow entry (a long shared read path),

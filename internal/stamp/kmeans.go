@@ -41,7 +41,7 @@ func (w *Kmeans) Setup(m *txlib.Mem, threads int) {
 func (w *Kmeans) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < w.PointsPerThread; i++ {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		// Nearest-centroid search happens on private data in STAMP;
 		// only the accumulator update is transactional.
 		c := r.Intn(w.Clusters)

@@ -39,7 +39,7 @@ func (w *Labyrinth) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	net := uint64(th.ID())<<32 | 1
 	for i := 0; i < w.RoutesPerThread; i++ {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		// Manhattan route between two random points on a random layer.
 		x0, y0 := r.Intn(w.X), r.Intn(w.Y)
 		x1, y1 := r.Intn(w.X), r.Intn(w.Y)

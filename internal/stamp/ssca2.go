@@ -40,7 +40,7 @@ func (w *SSCA2) Setup(m *txlib.Mem, threads int) {
 func (w *SSCA2) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	for i := 0; i < w.EdgesPerThread; i++ {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		u := r.Intn(w.Vertices)
 		v := uint64(1 + r.Intn(w.Vertices))
 		weight := uint64(1 + r.Intn(255))

@@ -63,7 +63,7 @@ func (w *Vacation) Run(m *txlib.Mem, th *sched.Thread, bo tm.BackoffConfig) {
 	r := th.Rand()
 	customer := uint64(th.ID())<<16 | 1
 	for i := 0; i < w.TxnsPerThread; i++ {
-		th.Tick(w.InterTxnCycles)
+		th.LocalTick(w.InterTxnCycles)
 		reserve := r.Intn(100) < w.ReserveRatio
 		// Choose the items to browse up front so retries re-browse
 		// the same working set.

@@ -212,7 +212,9 @@ func Atomic(e Engine, t *sched.Thread, backoff BackoffConfig, body func(Txn) err
 		if attempt > 0 {
 			if d := backoff.Delay(attempt, t.Rand()); d > 0 {
 				e.Stats().BackoffNs += d
-				t.Tick(d)
+				// Backoff is pure thread-local waiting; the fence in
+				// runAttempt re-synchronises before the next Begin.
+				t.LocalTick(d)
 			}
 		}
 		err := runAttempt(e, t, body)
@@ -248,6 +250,11 @@ func RunOnce(e Engine, t *sched.Thread, body func(Txn) error) error {
 // runAttempt executes one transaction attempt, translating abort signals
 // into *AbortError values.
 func runAttempt(e Engine, t *sched.Thread, body func(Txn) error) (err error) {
+	// End any batched quantum before Begin: engine Begin paths read
+	// order-sensitive shared state (commit-window occupancy, global
+	// clocks, lock tables) that must be observed at the per-event
+	// scheduling point. This single fence covers every engine.
+	t.Fence()
 	tx := e.Begin(t)
 	defer func() {
 		if r := recover(); r != nil {

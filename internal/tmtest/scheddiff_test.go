@@ -97,3 +97,53 @@ func TestSchedulerDifferential(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchedSchedulerDifferential is the same registry-wide pin for
+// horizon batching: for every engine the batched conductor and the same
+// conductor with batching disabled (SetPerEvent) must agree on engine
+// statistics, makespan, final memory and cache statistics. It also guards
+// that batching is actually engaged where it is supposed to be — for the
+// plain SI-TM engine with fast sets and the fast cache model — by
+// asserting the coroutine-switch count drops against the per-event run.
+func TestBatchedSchedulerDifferential(t *testing.T) {
+	type run struct {
+		res   schedResult
+		stats sched.Stats
+	}
+	drive := func(t *testing.T, name string, threads int, seed uint64, perEvent bool) run {
+		var st sched.Stats
+		res := runEngineWorkload(t, name, tm.EngineOptions{}, threads, seed,
+			func(s *sched.Sim, body func(*sched.Thread)) {
+				s.SetPerEvent(perEvent)
+				s.Run(body)
+				st = s.Stats()
+			})
+		return run{res: res, stats: st}
+	}
+	for _, name := range tm.Engines() {
+		for _, threads := range []int{1, 2, 4, 8} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				t.Run(fmt.Sprintf("%s/t%d/s%d", name, threads, seed), func(t *testing.T) {
+					batched := drive(t, name, threads, seed, false)
+					perEvent := drive(t, name, threads, seed, true)
+					if batched.res != perEvent.res {
+						t.Errorf("batched conductor %+v\nper-event conductor %+v", batched.res, perEvent.res)
+					}
+					if perEvent.stats.BatchedEvents != 0 {
+						t.Errorf("per-event conductor batched %d events", perEvent.stats.BatchedEvents)
+					}
+					// A single thread is always the heap root: its charges
+					// stay on the inline-tick path and no quantum ever needs
+					// batching, so the engagement assertions start at 2.
+					if name == "SI-TM" && threads > 1 && batched.stats.BatchedEvents == 0 {
+						t.Errorf("SI-TM ran no batched events: %+v", batched.stats)
+					}
+					if name == "SI-TM" && threads > 1 && batched.stats.CoroutineSwitches >= perEvent.stats.CoroutineSwitches {
+						t.Errorf("batched conductor switched %d times, per-event %d: batching should reduce switches",
+							batched.stats.CoroutineSwitches, perEvent.stats.CoroutineSwitches)
+					}
+				})
+			}
+		}
+	}
+}

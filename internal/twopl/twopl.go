@@ -401,6 +401,9 @@ func (x *txn) Read(a mem.Addr) uint64 {
 	if x.e.tracer != nil {
 		x.e.tracer.TxnRead(x.id, a, x.site)
 	}
+	// Eager conflict detection reads and writes the shared line table on
+	// every access: 2PL interacts per event and can never batch.
+	x.t.Interact()
 	st := x.e.lines.Slot(uint64(line))
 	if w := st.liveWriter(); w != nil && w != x {
 		w.doom(tm.AbortReadWrite, line)
@@ -443,6 +446,7 @@ func (x *txn) Write(a mem.Addr, v uint64) {
 			tm.SignalAbort(tm.AbortCapacity, line)
 		}
 	}
+	x.t.Interact() // get-exclusive broadcast: per-event interaction
 	st := x.e.lines.Slot(uint64(line))
 	if w := st.liveWriter(); w != nil && w != x {
 		w.doom(tm.AbortWriteWrite, line)
@@ -515,6 +519,7 @@ func (x *txn) Commit() error {
 		x.t.WakeAll()
 		return x.abortDoomed()
 	}
+	x.t.Interact() // write-back + invalidations: per-event interactions
 	for i := 0; i < x.writes.Len(); i++ {
 		line, w := x.writes.At(i)
 		for word := 0; word < mem.WordsPerLine; word++ {

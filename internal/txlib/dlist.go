@@ -65,7 +65,7 @@ func (l *DList) Insert(tx tm.Txn, k, v uint64) bool {
 	}
 	tx.Site(SiteDListInsert)
 	prev := mem.Addr(tx.Read(field(at, dPrev)))
-	n := l.m.allocNode(dFields)
+	n := l.m.allocNodeIn(tx, dFields)
 	tx.Write(field(n, dKey), k)
 	tx.Write(field(n, dVal), v)
 	tx.Write(field(n, dNext), uint64(at))

@@ -81,7 +81,7 @@ func (h *Hashtable) Insert(tx tm.Txn, k, v uint64) bool {
 		}
 	}
 	tx.Site(SiteHashInsert)
-	n := h.m.allocNode(listFields)
+	n := h.m.allocNodeIn(tx, listFields)
 	tx.Write(field(n, listKey), k)
 	tx.Write(field(n, listVal), v)
 	tx.Write(field(n, listNext), uint64(head))

@@ -71,7 +71,7 @@ func (l *List) Insert(tx tm.Txn, k, v uint64) bool {
 		return false
 	}
 	tx.Site(SiteListInsert)
-	n := l.m.allocNode(listFields)
+	n := l.m.allocNodeIn(tx, listFields)
 	tx.Write(field(n, listKey), k)
 	tx.Write(field(n, listVal), v)
 	tx.Write(field(n, listNext), uint64(next))

@@ -41,7 +41,7 @@ func NewQueue(m *Mem) *Queue {
 // Push appends v.
 func (q *Queue) Push(tx tm.Txn, v uint64) {
 	tx.Site(SiteQueuePush)
-	n := q.m.allocNode(qFields)
+	n := q.m.allocNodeIn(tx, qFields)
 	tx.Write(field(n, qVal), v)
 	tx.Write(field(n, qNext), nilPtr)
 	tail := mem.Addr(tx.Read(q.tail))

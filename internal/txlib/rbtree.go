@@ -148,7 +148,7 @@ func (t *RBTree) Insert(tx tm.Txn, k, v uint64) bool {
 			return false
 		}
 	}
-	z := t.m.allocNode(rbFields)
+	z := t.m.allocNodeIn(tx, rbFields)
 	tx.Write(field(z, rbKey), k)
 	tx.Write(field(z, rbVal), v)
 	setf(tx, z, rbLeft, nilPtr)
