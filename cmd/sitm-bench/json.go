@@ -35,6 +35,13 @@ type benchSection struct {
 	WallSeconds      float64 `json:"wall_seconds"`
 	SimCycles        uint64  `json:"sim_cycles"`
 	SimMcyclesPerSec float64 `json:"sim_mcycles_per_sec"`
+	// PeakHeapBytes is the live heap (runtime.MemStats.HeapAlloc) when
+	// the section finished, and TotalAllocs the heap allocations the
+	// section performed (Mallocs delta across the section). The pair is
+	// the footprint trajectory: serving-scale sweeps must show heap
+	// proportional to touched lines, not address span.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	TotalAllocs   uint64 `json:"total_allocs"`
 }
 
 // benchHotPath is the measurement of one simulator hot path, taken with
@@ -75,10 +82,11 @@ type benchReport struct {
 // benchCollector accumulates per-cell simulated cycles (fed concurrently
 // by the harness CellDone hook) and section wall times.
 type benchCollector struct {
-	report    benchReport
-	cells     atomic.Uint64
-	simCycles atomic.Uint64
-	started   time.Time
+	report      benchReport
+	cells       atomic.Uint64
+	simCycles   atomic.Uint64
+	started     time.Time
+	baseMallocs uint64 // runtime.MemStats.Mallocs at section begin
 
 	mu    sync.Mutex  // guards sched
 	sched sched.Stats // conductor counters summed over all cells
@@ -114,6 +122,9 @@ func (b *benchCollector) begin() {
 	}
 	b.cells.Store(0)
 	b.simCycles.Store(0)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	b.baseMallocs = ms.Mallocs
 	b.started = time.Now()
 }
 
@@ -123,11 +134,15 @@ func (b *benchCollector) end(name string) {
 		return
 	}
 	wall := time.Since(b.started).Seconds()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	s := benchSection{
-		Name:        name,
-		Cells:       b.cells.Load(),
-		WallSeconds: wall,
-		SimCycles:   b.simCycles.Load(),
+		Name:          name,
+		Cells:         b.cells.Load(),
+		WallSeconds:   wall,
+		SimCycles:     b.simCycles.Load(),
+		PeakHeapBytes: ms.HeapAlloc,
+		TotalAllocs:   ms.Mallocs - b.baseMallocs,
 	}
 	if wall > 0 {
 		s.SimMcyclesPerSec = float64(s.SimCycles) / wall / 1e6

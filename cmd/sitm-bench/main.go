@@ -7,9 +7,14 @@
 //	sitm-bench -table 1        Table 1: simulated architecture
 //	sitm-bench -table 2        Table 2 / Appendix A: MVM version accesses
 //	sitm-bench -all            everything above
+//	sitm-bench -oltp           Figure OLTP: serving-tier abort rates and
+//	                           p50/p99/p999 commit-latency tails (not in -all,
+//	                           which keeps the paper set byte-stable)
 //
 // Flags -seeds, -threads, -workers, -workload, -word, -dropoldest and
-// -nobackoff expose the evaluation's knobs and ablations. Sweeps are
+// -nobackoff expose the evaluation's knobs and ablations. -workload
+// accepts the paper workloads and the OLTP tier names (kv[@theta],
+// ledger[@theta], e.g. kv@0.99). Sweeps are
 // experiment plans executed on a shared-nothing worker pool; -workers
 // bounds the pool (default: one worker per CPU) and the output is
 // byte-identical at any worker count.
@@ -94,11 +99,12 @@ func main() {
 	var (
 		fig        = flag.Int("fig", 0, "figure to regenerate (1, 7 or 8)")
 		table      = flag.Int("table", 0, "table to regenerate (1 or 2)")
-		all        = flag.Bool("all", false, "regenerate every figure and table")
+		all        = flag.Bool("all", false, "regenerate every figure and table of the paper set (excludes -oltp)")
+		oltp       = flag.Bool("oltp", false, "regenerate the OLTP serving-tier figure: Zipfian kv/ledger abort rates and p50/p99/p999 commit-latency tails per engine, skew and thread count")
 		threads    = flag.Int("threads", 32, "thread count for Figure 1 / Table 2")
 		seeds      = flag.String("seeds", "1,2,3", "seeds to average over: N for seeds 1..N (the paper uses -seeds 5), or a comma-separated list of explicit seeds")
 		workers    = flag.Int("workers", 0, "experiment-runner worker pool size (0 = one per CPU); results do not depend on it")
-		workload   = flag.String("workload", "", "restrict sweeps to these comma-separated workloads (default: all)")
+		workload   = flag.String("workload", "", "restrict sweeps to these comma-separated workloads (default: all); includes the OLTP tier names kv[@theta] and ledger[@theta]")
 		progress   = flag.Bool("progress", false, "print per-cell progress to stderr as the sweep runs")
 		word       = flag.Bool("word", false, "enable SI-TM word-granularity conflict filtering (§4.2)")
 		dropOldest = flag.Bool("dropoldest", false, "use the drop-oldest version policy instead of abort-fifth (§3.1)")
@@ -137,11 +143,13 @@ func main() {
 	if *workload != "" {
 		for _, name := range strings.Split(*workload, ",") {
 			name = strings.TrimSpace(name)
-			if _, err := harness.WorkloadByName(name); err != nil {
+			f, err := harness.WorkloadByName(name)
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "sitm-bench: %v\n", err)
 				os.Exit(2)
 			}
-			o.Only = append(o.Only, name)
+			// Canonical form, so "kv" and "KV@0.99" address the same cells.
+			o.Only = append(o.Only, f().Name())
 		}
 	}
 	if *cacheDir != "" {
@@ -234,6 +242,13 @@ func main() {
 		bench.begin()
 		harness.MVMReport(os.Stdout, *threads, o)
 		bench.end("mvm")
+		fmt.Println()
+		ran = true
+	}
+	if *oltp {
+		bench.begin()
+		harness.FigureOLTP(os.Stdout, o)
+		bench.end("figure-oltp")
 		fmt.Println()
 		ran = true
 	}

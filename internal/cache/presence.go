@@ -19,8 +19,45 @@ import "repro/internal/mem"
 // Only cores 0..63 are tracked (one bit each). A core with a larger ID
 // has a zero bit — Note is a no-op and Drain never returns it — so
 // callers must keep broadcasting to cores beyond 64.
+//
+// The bit table is a paged store (mem.Paged): at serving-scale footprints
+// the line-number space runs to 2²⁴ and beyond, and a dense table sized
+// by the maximum line ever noted would dwarf the touched set. Engines
+// built with a Scratch recycle pristine spines across cells via
+// NewPresence/Release — the per-cell reset walks only the dirty pages.
 type Presence struct {
-	bits []uint64
+	bits mem.Paged[uint64]
+}
+
+// NewPresence returns a presence filter, reusing a pristine recycled bit
+// table from s when one is available (s may be nil). When reference is
+// set the filter uses the retained dense backing (the house Reference
+// pattern); reference tables are never pooled.
+func NewPresence(s *Scratch, reference bool) Presence {
+	if reference {
+		var p Presence
+		p.bits.SetReference()
+		return p
+	}
+	if s != nil && len(s.presence) > 0 {
+		p := s.presence[len(s.presence)-1]
+		s.presence = s.presence[:len(s.presence)-1]
+		return p
+	}
+	return Presence{}
+}
+
+// Release resets the bit table in O(dirty pages) and donates it to s for
+// the next cell's NewPresence. The Presence must not be used afterwards.
+// Safe with a nil Scratch (the table is left to the garbage collector);
+// reference-backed tables are never pooled.
+func (p *Presence) Release(s *Scratch) {
+	if s == nil || p.bits.Reference() {
+		return
+	}
+	p.bits.Reset()
+	s.presence = append(s.presence, *p)
+	p.bits = mem.Paged[uint64]{}
 }
 
 // Note records that the core with the given bit (CoreBit of its ID) may
@@ -28,41 +65,24 @@ type Presence struct {
 // fill itself happens before the simulated yield, so the record must too,
 // or a commit interleaved with the yield would skip a real invalidation.
 func (p *Presence) Note(line mem.Line, bit uint64) {
-	i := uint64(line)
-	if i < uint64(len(p.bits)) {
-		p.bits[i] |= bit
-		return
+	if bit == 0 {
+		return // untracked core (id >= 64): callers broadcast to it anyway
 	}
-	p.grow(i)
-	p.bits[i] |= bit
+	*p.bits.Slot(uint64(line)) |= bit
 }
 
 // Drain returns the tracked cores other than self that may hold line and
 // clears their bits; the caller must invalidate the line in exactly the
 // returned cores. The self bit is left in place — the committing core
-// keeps the line resident.
+// keeps the line resident. A drain that returns no cores writes nothing,
+// so read-mostly lines never dirty their page.
 func (p *Presence) Drain(line mem.Line, selfBit uint64) uint64 {
-	i := uint64(line)
-	if i >= uint64(len(p.bits)) {
-		return 0
+	v := p.bits.Load(uint64(line))
+	others := v &^ selfBit
+	if others != 0 {
+		*p.bits.Slot(uint64(line)) = v & selfBit
 	}
-	others := p.bits[i] &^ selfBit
-	p.bits[i] &= selfBit
 	return others
-}
-
-// grow extends the table to cover index i (powers of two, like mem.Dense).
-func (p *Presence) grow(i uint64) {
-	n := uint64(len(p.bits))
-	if n < 1024 {
-		n = 1024
-	}
-	for n <= i {
-		n *= 2
-	}
-	nb := make([]uint64, n)
-	copy(nb, p.bits)
-	p.bits = nb
 }
 
 // CoreBit returns the presence bit of core id: 1<<id for tracked cores,

@@ -32,6 +32,10 @@ const maxPoolPerGeometry = 64
 // execution model. A nil *Scratch is valid and disables pooling.
 type Scratch struct {
 	free map[geometry][]*level
+	// presence pools pristine presence-filter bit tables (see
+	// Presence.Release): the paged spines and their touched pages carry
+	// over to the next cell instead of being reallocated.
+	presence []Presence
 }
 
 // NewScratch returns an empty pool.

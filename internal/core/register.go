@@ -37,5 +37,7 @@ func configFor(o tm.EngineOptions, serializable bool) Config {
 	cfg.Cache.Reference = o.ReferenceCache
 	cfg.Cache.Scratch = o.CacheScratch
 	cfg.ReferenceSets = o.ReferenceSets
+	cfg.ReferenceStore = o.ReferenceStore
+	cfg.MVM.ReferenceStore = o.ReferenceStore
 	return cfg
 }

@@ -58,6 +58,12 @@ type Config struct {
 	// the aset fast path. Results are bit-identical to the default; only
 	// simulator wall time changes.
 	ReferenceSets bool
+	// ReferenceStore backs the presence filters (and, via MVM.
+	// ReferenceStore, the version table) with the retained dense mem
+	// store instead of the paged one, the differential oracle for the
+	// paged backing. Results are bit-identical to the default; only
+	// memory footprint changes.
+	ReferenceStore bool
 }
 
 // DefaultConfig mirrors the evaluated system: 4 versions with
@@ -147,13 +153,15 @@ func New(cfg Config) *Engine {
 	clk.MaxInflight = cfg.MaxInflight
 	active := clock.NewActiveTable()
 	e := &Engine{
-		cfg:      cfg,
-		clk:      clk,
-		active:   active,
-		mem:      mvm.New(cfg.MVM, clk, active),
-		shared:   cache.NewShared(cfg.Cache),
-		promoted: make(map[string]bool),
-		lastTxn:  make(map[int]*txn),
+		cfg:       cfg,
+		clk:       clk,
+		active:    active,
+		mem:       mvm.New(cfg.MVM, clk, active),
+		shared:    cache.NewShared(cfg.Cache),
+		promoted:  make(map[string]bool),
+		lastTxn:   make(map[int]*txn),
+		presence:  cache.NewPresence(cfg.Cache.Scratch, cfg.ReferenceStore),
+		xpresence: cache.NewPresence(cfg.Cache.Scratch, cfg.ReferenceStore),
 	}
 	e.liveReader = e.readerLive
 	if cfg.ReferenceSets {
@@ -240,6 +248,8 @@ func (e *Engine) ReleaseCaches() {
 	}
 	e.hiers = nil
 	e.shared.Release()
+	e.presence.Release(e.cfg.Cache.Scratch)
+	e.xpresence.Release(e.cfg.Cache.Scratch)
 }
 
 // AuditAccessSets verifies that no live access-set state survives outside

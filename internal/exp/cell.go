@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mvm"
+	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/tm"
 	"repro/internal/txlib"
@@ -70,6 +71,10 @@ type CellConfig struct {
 	// RefSets runs the cell with the reference map-based access-set
 	// implementation instead of the internal/aset fast path.
 	RefSets bool `json:"ref_sets,omitempty"`
+	// RefStore runs the cell with the retained dense mem backing for the
+	// engines' per-word/per-line tables, the MVM's version table and the
+	// presence filters, instead of the paged fast path (mem.Paged).
+	RefStore bool `json:"ref_store,omitempty"`
 }
 
 // engineOptions maps the cell knobs onto the registry's
@@ -83,6 +88,7 @@ func (c CellConfig) engineOptions() tm.EngineOptions {
 		NoXlate:           c.NoXlate,
 		ReferenceCache:    c.RefCache,
 		ReferenceSets:     c.RefSets,
+		ReferenceStore:    c.RefStore,
 	}
 }
 
@@ -108,6 +114,7 @@ func (c CellConfig) backoff() tm.BackoffConfig {
 type CellResult struct {
 	Workload    string    `json:"workload"`
 	Commits     uint64    `json:"commits"`
+	ReadOnly    uint64    `json:"read_only,omitempty"` // committed with an empty write set
 	Aborts      uint64    `json:"aborts"`
 	RWAborts    uint64    `json:"rw_aborts"`
 	WWAborts    uint64    `json:"ww_aborts"`
@@ -115,6 +122,11 @@ type CellResult struct {
 	SimCycles   uint64    `json:"sim_cycles"` // the simulation's makespan
 	MVM         mvm.Stats `json:"mvm"`
 	ValidateMsg string    `json:"validate_msg,omitempty"`
+
+	// CommitHist is the cell's commit-latency distribution in simulated
+	// cycles (see tm.Stats.CommitHist): deterministic integer buckets,
+	// so cached cells reproduce p50/p99/p999 byte-exactly.
+	CommitHist report.Hist `json:"commit_hist"`
 
 	// Sched counts the conductor's work for the cell (deterministic, so
 	// cacheable like every other counter). Diagnostic only: no figure or
@@ -184,6 +196,8 @@ func ExecuteCell(c Cell, cfg CellConfig, factory func() Workload, warm WarmState
 	res := CellResult{
 		Workload:    w.Name(),
 		Commits:     st.Commits,
+		ReadOnly:    st.ReadOnly,
+		CommitHist:  st.CommitHist,
 		Aborts:      st.TotalAborts(),
 		RWAborts:    st.Aborts[tm.AbortReadWrite],
 		WWAborts:    st.Aborts[tm.AbortWriteWrite],

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestWorkloadByNameResolvesOLTPTier pins the registry fallback: tier
+// names resolve (canonicalised), malformed skews error with the tier's
+// message, and unknown names list the tier forms alongside the registry.
+func TestWorkloadByNameResolvesOLTPTier(t *testing.T) {
+	f, err := WorkloadByName("kv@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := f().Name(); name != "kv@0.50" {
+		t.Fatalf("canonical name = %q", name)
+	}
+	if _, err := WorkloadByName("ledger"); err != nil {
+		t.Fatalf("default-theta ledger: %v", err)
+	}
+	if _, err := WorkloadByName("kv@1.5"); err == nil || !strings.Contains(err.Error(), "theta") {
+		t.Fatalf("out-of-range theta error = %v", err)
+	}
+	_, err = WorkloadByName("nosuch")
+	if err == nil || !strings.Contains(err.Error(), "kv[@theta]") || !strings.Contains(err.Error(), "List") {
+		t.Fatalf("unknown-workload listing must include registry and tier names, got: %v", err)
+	}
+}
+
+// TestFigureOLTPClaims runs a reduced serving-tier figure and pins the
+// §1 claim the figure exists to show: SI-TM commits the analytical scans
+// read-only with zero read-write aborts, while 2PL on the identical
+// cells pays read-write aborts; and every engine's commit histogram
+// carries exactly its commits.
+func TestFigureOLTPClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a serving-tier sweep")
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"kv@0.99"}}
+	var buf bytes.Buffer
+	res := FigureOLTP(&buf, o)
+	out := buf.String()
+	if !strings.Contains(out, "kv@0.99") || !strings.Contains(out, "p999") {
+		t.Fatalf("render missing workload table or quantile columns:\n%s", out)
+	}
+	for _, th := range OLTPThreads {
+		si := res[sweepKey{Workload: "kv@0.99", Engine: SITM, Threads: th}]
+		if si.ROCommits == 0 {
+			t.Fatalf("%d threads: SI-TM reports no read-only commits despite analytical scans", th)
+		}
+		if si.RWAborts != 0 {
+			t.Fatalf("%d threads: SI-TM paid %.0f read-write aborts; snapshot reads must be invisible", th, si.RWAborts)
+		}
+		if got, want := si.CommitHist.Total(), uint64(si.Commits); got != want {
+			t.Fatalf("%d threads: SI-TM histogram holds %d commits, stats say %d", th, got, want)
+		}
+	}
+	pl := res[sweepKey{Workload: "kv@0.99", Engine: TwoPL, Threads: 32}]
+	if pl.RWAborts == 0 {
+		t.Fatal("2PL: same cells produced no read-write aborts; the differential claim has no teeth")
+	}
+}
+
+// TestPlanFigureCoversOLTPSweep extends the plan-coverage pin to the new
+// figure: warming the cache from PlanFigure("figure-oltp") makes the
+// subsequent render recompute nothing.
+func TestPlanFigureCoversOLTPSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a serving-tier sweep")
+	}
+	c, err := exp.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Seeds: []uint64{1}, Only: []string{"kv@0.50"}, Cache: c}
+	fp, err := PlanFigure("figure-oltp", 4, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	cr := exp.CellRunner{Config: fp.Config, Resolve: WorkloadByName, Cache: o.Cache}
+	if _, err := cr.Run(fp.Plan); err != nil {
+		t.Fatal(err)
+	}
+	var computed int
+	o.Progress = func(p exp.Progress) {
+		if !p.Cached {
+			computed++
+		}
+	}
+	if _, err := RenderFigureText("figure-oltp", 4, o); err != nil {
+		t.Fatal(err)
+	}
+	if computed != 0 {
+		t.Errorf("render recomputed %d cells not covered by PlanFigure", computed)
+	}
+}

@@ -16,7 +16,7 @@ import (
 
 // FigureNames lists the renderable sections in presentation order.
 // "table1" is static (no cells); every other section sweeps a plan.
-var FigureNames = []string{"table1", "figure1", "figure7", "figure8", "table2", "mvm"}
+var FigureNames = []string{"table1", "figure1", "figure7", "figure8", "table2", "mvm", "figure-oltp"}
 
 // KnownFigure reports whether name names a renderable section.
 func KnownFigure(name string) bool {
@@ -83,6 +83,13 @@ func PlanFigure(figure string, threads int, o Options) (FigurePlan, error) {
 			Plan:   mvmPlan(threads, o),
 			Config: o.cellConfig(),
 		}, nil
+	case "figure-oltp":
+		names := oltpFigureNames(o)
+		return FigurePlan{
+			Figure: "figure-oltp",
+			Plan:   exp.Cross(names, fig7Engines, OLTPThreads, o.Seeds),
+			Config: o.cellConfig(),
+		}, nil
 	}
 	return FigurePlan{}, fmt.Errorf("harness: unknown figure %q (valid: %s)",
 		figure, strings.Join(FigureNames, ", "))
@@ -111,6 +118,8 @@ func RenderFigureText(figure string, threads int, o Options) ([]byte, error) {
 		Table2(&buf, threads, o)
 	case "mvm":
 		MVMReport(&buf, threads, o)
+	case "figure-oltp":
+		FigureOLTP(&buf, o)
 	}
 	return buf.Bytes(), nil
 }

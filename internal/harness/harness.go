@@ -27,6 +27,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/micro"
 	"repro/internal/mvm"
+	"repro/internal/oltp"
+	"repro/internal/report"
 	"repro/internal/stamp"
 
 	// Engine packages self-register with the tm registry.
@@ -133,6 +135,11 @@ type Options struct {
 	// signature-backed internal/aset fast path; the differential tests
 	// use it to pin byte-identical figure output.
 	refSets bool
+	// refStore runs every cell with the retained dense mem backing
+	// behind the engines' per-line tables and presence filters instead
+	// of the paged O(touched) store; the differential tests use it to
+	// pin byte-identical figure output.
+	refStore bool
 }
 
 // DefaultOptions returns the evaluation defaults.
@@ -163,6 +170,7 @@ func (o Options) cellConfig() exp.CellConfig {
 		PerEvent:          o.PerEvent,
 		RefCache:          o.refCache,
 		RefSets:           o.refSets,
+		RefStore:          o.refStore,
 	}
 }
 
@@ -214,9 +222,14 @@ type Result struct {
 	RWAborts    float64
 	WWAborts    float64
 	OtherAborts float64
+	ROCommits   float64 // committed with an empty write set
 	AbortRate   float64 // aborts / (commits+aborts)
 	Makespan    float64 // simulated cycles
 	Throughput  float64 // commits per 1000 simulated cycles
+	// CommitHist merges the per-seed commit-latency histograms: the
+	// quantiles it reports cover every committed transaction of every
+	// seed (merged, not averaged — quantiles do not average).
+	CommitHist  report.Hist
 	MVM         mvm.Stats
 	ValidateMsg string
 }
@@ -235,6 +248,8 @@ func aggregate(engine EngineKind, threads int, cells []exp.CellResult) Result {
 		agg.RWAborts += float64(c.RWAborts)
 		agg.WWAborts += float64(c.WWAborts)
 		agg.OtherAborts += float64(c.OtherAborts)
+		agg.ROCommits += float64(c.ReadOnly)
+		agg.CommitHist.Add(&c.CommitHist)
 		agg.Makespan += float64(c.SimCycles)
 		if c.ValidateMsg != "" && agg.ValidateMsg == "" {
 			agg.ValidateMsg = c.ValidateMsg
@@ -257,6 +272,7 @@ func aggregate(engine EngineKind, threads int, cells []exp.CellResult) Result {
 	agg.RWAborts /= n
 	agg.WWAborts /= n
 	agg.OtherAborts /= n
+	agg.ROCommits /= n
 	agg.Makespan /= n
 	if agg.Commits+agg.Aborts > 0 {
 		agg.AbortRate = agg.Aborts / (agg.Commits + agg.Aborts)
@@ -360,15 +376,25 @@ func registryNames() []string {
 }
 
 // WorkloadByName returns the registry entry for name (case-insensitive).
-// Unknown names return an error listing the valid workload names.
+// Names outside the registry resolve through the OLTP serving tier
+// ("kv", "ledger", optionally with a "@theta" skew suffix). Unknown
+// names return an error listing the valid workload and tier names; a
+// tier name with a malformed or out-of-range theta returns the tier's
+// error.
 func WorkloadByName(name string) (func() Workload, error) {
 	for _, f := range Registry() {
 		if strings.EqualFold(f().Name(), name) {
 			return f, nil
 		}
 	}
+	if of, isOLTP, err := oltp.ByName(name); isOLTP {
+		if err != nil {
+			return nil, err
+		}
+		return func() Workload { return of() }, nil
+	}
 	return nil, fmt.Errorf("harness: unknown workload %q (valid: %s)",
-		name, strings.Join(Workloads(), ", "))
+		name, strings.Join(append(Workloads(), oltp.TierNames()...), ", "))
 }
 
 // Workloads lists the registered workload names.

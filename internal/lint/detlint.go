@@ -30,6 +30,7 @@ var SimPackagePaths = map[string]bool{
 	"repro/internal/mc":     true,
 	"repro/internal/skew":   true,
 	"repro/internal/report": true,
+	"repro/internal/oltp":   true,
 }
 
 // ConcurrencyExemptPaths are the packages allowed to spawn goroutines and

@@ -22,6 +22,19 @@ func TestDetLint(t *testing.T) {
 	analysistest.RunTest(t, analysistest.Testdata(), lint.DetLint, "detsim", "detsched")
 }
 
+// TestDetLintOLTPFixture pins the serving-workload tier's coverage: the
+// real package path is registered as simulation code, and the stand-in
+// fixture shows detlint rejecting wall clocks and global randomness in
+// workload bodies while the seeded-generator idiom passes.
+func TestDetLintOLTPFixture(t *testing.T) {
+	if !lint.SimPackagePaths["repro/internal/oltp"] {
+		t.Error("repro/internal/oltp must be registered as a simulation package")
+	}
+	lint.SimPackagePaths["oltp"] = true
+	t.Cleanup(func() { delete(lint.SimPackagePaths, "oltp") })
+	analysistest.RunTest(t, analysistest.Testdata(), lint.DetLint, "oltp")
+}
+
 // TestDetLintServiceExemption pins the service-layer boundary: the
 // sweep daemon and the cell orchestration layer may use wall clocks,
 // goroutines and net/http without //sitm:allow noise, and the exemption

@@ -31,3 +31,30 @@ func (d *Dense[T]) Store(i uint64, x T) {
 	}
 	d.v[i] = x
 }
+
+// Paged is a sparse simulated-storage table standing in for mem.Paged:
+// yieldlint treats its accessors — Range included — as shared-memory
+// touches.
+type Paged[T any] struct {
+	v map[uint64]T
+}
+
+// Load reads slot i.
+func (p *Paged[T]) Load(i uint64) T { return p.v[i] }
+
+// Slot returns a settable slot (the fixture fakes it with a local).
+func (p *Paged[T]) Slot(i uint64) *T {
+	if p.v == nil {
+		p.v = make(map[uint64]T)
+	}
+	x := p.v[i]
+	return &x
+}
+
+// Range visits every occupied slot: a bulk shared-memory touch.
+func (p *Paged[T]) Range(f func(i uint64, v *T)) {
+	for i := range p.v {
+		x := p.v[i]
+		f(i, &x)
+	}
+}

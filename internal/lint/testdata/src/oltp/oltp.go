@@ -1,0 +1,34 @@
+// Package oltp is a detlint fixture standing in for the serving-workload
+// tier (repro/internal/oltp): workload code runs inside simulated cells,
+// so wall clocks and the global math/rand generator are forbidden, while
+// explicitly seeded generators — the tier's per-thread sched.Rand idiom —
+// are deterministic and pass.
+package oltp
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Deadline reads the wall clock: a workload keyed on host time would
+// break cell reproducibility.
+func Deadline() int64 {
+	return time.Now().Unix() // want "wall-clock read"
+}
+
+// Shuffle draws from the global generator: nondeterministic under
+// concurrent cells.
+func Shuffle(keys []int) {
+	rand.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] }) // want "global math/rand"
+}
+
+// HotKey draws from the global generator: same problem as Shuffle.
+func HotKey(n int) int {
+	return rand.Intn(n) // want "global math/rand"
+}
+
+// SeededDraw is the sanctioned form: an explicitly seeded source, as the
+// tier's Zipfian generator does through the caller's per-thread stream.
+func SeededDraw(seed int64, n int) int {
+	return rand.New(rand.NewSource(seed)).Intn(n)
+}

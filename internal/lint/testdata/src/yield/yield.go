@@ -14,6 +14,7 @@ import (
 type Engine struct {
 	mem   *mvm.Memory
 	words mem.Dense[uint64]
+	lines mem.Paged[uint64]
 }
 
 func (e *Engine) Name() string { return "fixture" }
@@ -104,3 +105,30 @@ func (e *Engine) FencedPeek(t *sched.Thread, a mem.Addr) uint64 { // want "expor
 
 // Stats touches no storage: metadata calls are not accesses.
 func (e *Engine) Stats() int { return e.mem.Stats() }
+
+// SumCharged walks the paged table behind a charge: Range is a touch,
+// and the Tick covers it.
+func (e *Engine) SumCharged(t *sched.Thread) uint64 {
+	t.Tick(4)
+	var sum uint64
+	e.lines.Range(func(_ uint64, v *uint64) { sum += *v })
+	return sum
+}
+
+// SumUncharged walks the paged table from an exported body with no
+// charge: the bulk touch is flagged like any point access.
+func (e *Engine) SumUncharged() uint64 { // want "exported entry points must charge in their own body"
+	var sum uint64
+	e.lines.Range(func(_ uint64, v *uint64) { sum += *v })
+	return sum
+}
+
+// AuditLines is the sanctioned quiescent form, like the engines' real
+// end-of-run audits over their paged tables.
+//
+//sitm:allow(yieldlint) fixture: quiescent verification scan off the scheduled path
+func (e *Engine) AuditLines() uint64 {
+	var sum uint64
+	e.lines.Range(func(_ uint64, v *uint64) { sum += *v })
+	return sum
+}

@@ -27,6 +27,7 @@ var yieldTouchMethods = map[string]map[string]bool{
 	},
 	"mem": {
 		"Load": true, "Store": true, "Slot": true, "Slice": true,
+		"Range": true,
 	},
 }
 

@@ -42,7 +42,18 @@ func (d *Dense[T]) Slot(i uint64) *T {
 // Store sets the value at index i, growing the table as needed.
 func (d *Dense[T]) Store(i uint64, x T) { *d.Slot(i) = x }
 
+// MaxDenseEntries bounds Dense growth. Doubling to an arbitrary maximum
+// index silently allocates the whole address-space prefix, so a sparse-key
+// bug in a workload (an address computed from corrupt data) turns into a
+// quiet OOM; the bound makes it fail loudly instead. Real footprints stay
+// far below it — serving-scale workloads with sparse spans belong on
+// Paged, which allocates proportional to touched pages.
+const MaxDenseEntries = 1 << 26
+
 func (d *Dense[T]) grow(i uint64) {
+	if i >= MaxDenseEntries {
+		panic("mem: Dense index exceeds MaxDenseEntries — sparse-key bug, or a footprint that belongs on mem.Paged")
+	}
 	n := uint64(cap(d.v)) * 2
 	if n < 1024 {
 		n = 1024

@@ -65,18 +65,19 @@ func (c *Checkpoint) Rollback() {
 	if c.m.clk.InFlight() > 0 {
 		panic("mvm: rollback with commits in flight")
 	}
-	for lineAddr, vl := range c.m.lines.Slice() {
+	c.m.lines.Range(func(_ uint64, slot **versionList) {
+		vl := *slot
 		if vl == nil {
-			continue
+			return
 		}
 		for len(vl.v) > 0 && vl.v[len(vl.v)-1].ts > c.ts {
 			vl.v = vl.v[:len(vl.v)-1]
 		}
 		if len(vl.v) == 0 && !vl.truncated {
-			c.m.lines.Store(uint64(lineAddr), nil)
+			*slot = nil
 			c.m.nLines--
 		}
-	}
+	})
 	c.Release()
 }
 
@@ -107,9 +108,10 @@ func (d DedupStats) SharablePct() float64 {
 func (m *Memory) MeasureDedup() DedupStats {
 	var d DedupStats
 	seen := make(map[[mem.WordsPerLine]uint64]int)
-	for _, vl := range m.lines.Slice() {
+	m.lines.Range(func(_ uint64, slot **versionList) {
+		vl := *slot
 		if vl == nil || len(vl.v) == 0 {
-			continue
+			return
 		}
 		d.Lines++
 		data := vl.v[len(vl.v)-1].data
@@ -117,7 +119,7 @@ func (m *Memory) MeasureDedup() DedupStats {
 			d.ZeroLines++
 		}
 		seen[data]++
-	}
+	})
 	d.UniqueData = len(seen)
 	for _, n := range seen {
 		if n > 1 {

@@ -56,6 +56,11 @@ type Config struct {
 	// version replaces the previous one unless an active transaction's
 	// start timestamp separates them.
 	Coalesce bool
+	// ReferenceStore backs the per-line version table with the retained
+	// dense mem store instead of the paged one, the differential oracle
+	// for the paged backing. Results are bit-identical to the default;
+	// only memory footprint changes.
+	ReferenceStore bool
 }
 
 // DefaultConfig returns the paper's configuration: 4 versions,
@@ -127,11 +132,13 @@ type Memory struct {
 	cfg    Config
 	clk    *clock.Clock
 	active *clock.ActiveTable
-	// lines is a flat table keyed by line number — the simulated
+	// lines is a paged table keyed by line number — the simulated
 	// address space is dense (bump allocated), and ReadWord sits on the
-	// per-access hot path where a map hash dominated. nLines counts the
-	// non-nil entries.
-	lines  mem.Dense[*versionList]
+	// per-access hot path where a map hash dominated. The paged backing
+	// keeps the heap proportional to touched lines at serving-scale
+	// footprints (Config.ReferenceStore retains the dense backing as
+	// the differential oracle). nLines counts the non-nil entries.
+	lines  mem.Paged[*versionList]
 	nLines int
 	stats  Stats
 }
@@ -145,7 +152,11 @@ func New(cfg Config, clk *clock.Clock, active *clock.ActiveTable) *Memory {
 	if cfg.Policy != Unbounded && cfg.MaxVersions <= 0 {
 		panic("mvm: bounded policy requires MaxVersions > 0")
 	}
-	return &Memory{cfg: cfg, clk: clk, active: active}
+	m := &Memory{cfg: cfg, clk: clk, active: active}
+	if cfg.ReferenceStore {
+		m.lines.SetReference()
+	}
+	return m
 }
 
 // safeHorizon returns the highest timestamp H such that no current or
@@ -456,13 +467,18 @@ func (m *Memory) NonTxWriteWord(a mem.Addr, val uint64) {
 // LinesAllocated returns the number of lines with at least one version.
 func (m *Memory) LinesAllocated() int { return m.nLines }
 
+// StorePages returns the number of pages the version table has allocated
+// — the footprint metric the serving-scale tests assert on (pages track
+// touched lines, not the address span).
+func (m *Memory) StorePages() int { return m.lines.Pages() }
+
 // TotalVersions returns the total number of versions currently stored.
 func (m *Memory) TotalVersions() int {
 	n := 0
-	for _, vl := range m.lines.Slice() {
-		if vl != nil {
-			n += len(vl.v)
+	m.lines.Range(func(_ uint64, vl **versionList) {
+		if *vl != nil {
+			n += len((*vl).v)
 		}
-	}
+	})
 	return n
 }

@@ -41,13 +41,14 @@ func (m *Memory) MeasureOverheads(bundleFactor int) Overheads {
 		bundleFactor = 1
 	}
 	o := Overheads{BundleFactor: bundleFactor}
-	for _, vl := range m.lines.Slice() {
+	m.lines.Range(func(_ uint64, slot **versionList) {
+		vl := *slot
 		if vl == nil || len(vl.v) == 0 {
-			continue
+			return
 		}
 		o.LinesAllocated++
 		o.VersionsLive += len(vl.v)
-	}
+	})
 	o.IndirectionBytes = o.LinesAllocated * entryBytes
 	o.DataBytes = o.VersionsLive * mem.LineBytes
 	if o.DataBytes > 0 {

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Histogram bucket geometry: buckets are logarithmic with histSubBits
+// sub-buckets per power of two (an HdrHistogram-style layout), so a
+// recorded value lands in a bucket whose width is at most 1/2^histSubBits
+// of its magnitude — quantiles carry at most ~3% relative error. The
+// geometry is fixed at compile time: the histogram is a flat array, never
+// allocates after creation, and two histograms fed the same values are
+// byte-identical regardless of feeding order.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	// histBuckets covers the full uint64 range: values below
+	// histSubBuckets land in the linear first group, and each exponent
+	// from histSubBits to 63 contributes histSubBuckets sub-buckets.
+	histBuckets = (64 - histSubBits + 1) * histSubBuckets
+)
+
+// Hist is a deterministic, allocation-free latency histogram of
+// simulated-cycle values. The zero Hist is empty and ready to use.
+// Everything about it is order-independent and integer-only, so per-cell
+// quantiles are byte-stable across runs, worker counts and platforms —
+// the property the figure pipeline's content-addressed cache relies on.
+type Hist struct {
+	counts [histBuckets]uint64
+	total  uint64
+}
+
+// histBucket maps a value to its bucket index.
+func histBucket(v uint64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	// Position of the leading bit, then histSubBits bits below it.
+	exp := 63 - bits.LeadingZeros64(v)
+	sub := (v >> (uint(exp) - histSubBits)) & (histSubBuckets - 1)
+	return (exp-histSubBits+1)*histSubBuckets + int(sub)
+}
+
+// histBucketLow returns the smallest value mapping to bucket i — the
+// conservative (lower-bound) value reported for quantiles in it.
+func histBucketLow(i int) uint64 {
+	if i < histSubBuckets {
+		return uint64(i)
+	}
+	exp := uint(i/histSubBuckets) + histSubBits - 1
+	sub := uint64(i % histSubBuckets)
+	return (1 << exp) | (sub << (exp - histSubBits))
+}
+
+// Record adds one observation.
+func (h *Hist) Record(v uint64) {
+	h.counts[histBucket(v)]++
+	h.total++
+}
+
+// Add merges o into h (used when aggregating per-seed cells).
+func (h *Hist) Add(o *Hist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Total returns the number of recorded observations.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Quantile returns the value at quantile q in [0, 1] (0.99 = p99): the
+// lower bound of the bucket holding the q-th observation, 0 when empty.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(h.total-1))
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if c != 0 && seen > rank {
+			return histBucketLow(i)
+		}
+	}
+	return histBucketLow(histBuckets - 1)
+}
+
+// MarshalJSON encodes the histogram as sorted sparse [bucket, count]
+// pairs: deterministic bytes, proportional to occupied buckets. Value
+// receiver so a Hist embedded by value in a marshalled struct (e.g.
+// exp.CellResult) encodes correctly.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('[')
+	first := true
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "[%d,%d]", i, c)
+	}
+	b.WriteByte(']')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON decodes the sparse pair encoding written by MarshalJSON
+// (whitespace-tolerant: cached blobs are stored re-indented).
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	*h = Hist{}
+	var pairs [][2]uint64
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return fmt.Errorf("report: malformed histogram: %w", err)
+	}
+	for _, p := range pairs {
+		if p[0] >= histBuckets {
+			return fmt.Errorf("report: histogram bucket %d out of range", p[0])
+		}
+		h.counts[p[0]] += p[1]
+		h.total += p[1]
+	}
+	return nil
+}
+
+// Summary renders the standard tail-latency triple.
+func (h *Hist) Summary() string {
+	return fmt.Sprintf("p50=%d p99=%d p999=%d",
+		h.Quantile(0.50), h.Quantile(0.99), h.Quantile(0.999))
+}

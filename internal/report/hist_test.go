@@ -1,0 +1,125 @@
+package report
+
+import (
+	"encoding/json"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestHistBucketGeometry(t *testing.T) {
+	// Every value maps to a bucket whose lower bound is <= the value,
+	// and bucket lower bounds are monotone.
+	for _, v := range []uint64{0, 1, 31, 32, 33, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, ^uint64(0)} {
+		b := histBucket(v)
+		if b < 0 || b >= histBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range", v, b)
+		}
+		if lo := histBucketLow(b); lo > v {
+			t.Fatalf("histBucketLow(%d) = %d > value %d", b, lo, v)
+		}
+	}
+	for i := 1; i < histBuckets; i++ {
+		if histBucketLow(i) < histBucketLow(i-1) {
+			t.Fatalf("bucket lows not monotone at %d", i)
+		}
+	}
+	// Round trip: a bucket's own lower bound maps back to it.
+	for i := 0; i < histBuckets; i++ {
+		if got := histBucket(histBucketLow(i)); got != i {
+			t.Fatalf("histBucket(histBucketLow(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestHistQuantileError(t *testing.T) {
+	// Quantiles come back within the sub-bucket relative error bound.
+	var h Hist
+	for v := uint64(1); v <= 100000; v++ {
+		h.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := uint64(q * 100000)
+		got := h.Quantile(q)
+		if got > exact {
+			t.Fatalf("Quantile(%v) = %d above exact %d", q, got, exact)
+		}
+		if float64(got) < float64(exact)*(1-2.0/histSubBuckets) {
+			t.Fatalf("Quantile(%v) = %d too far below exact %d", q, got, exact)
+		}
+	}
+	if h.Total() != 100000 {
+		t.Fatalf("Total() = %d", h.Total())
+	}
+}
+
+func TestHistOrderIndependentAndMerge(t *testing.T) {
+	vals := make([]uint64, 5000)
+	r := rand.New(rand.NewPCG(1, 2))
+	for i := range vals {
+		vals[i] = r.Uint64N(1 << 30)
+	}
+	var fwd, rev, merged Hist
+	var a, b Hist
+	for i, v := range vals {
+		fwd.Record(v)
+		rev.Record(vals[len(vals)-1-i])
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	merged.Add(&a)
+	merged.Add(&b)
+	if fwd != rev || fwd != merged {
+		t.Fatal("histogram depends on feeding order or merge path")
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 5, 5, 1000, 1 << 22} {
+		h.Record(v)
+	}
+	data, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := json.Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("marshal not deterministic")
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != h {
+		t.Fatalf("round trip mismatch: %s vs %s", data, mustJSON(&back))
+	}
+	var empty Hist
+	data, err = json.Marshal(&empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Fatalf("empty histogram marshals to %s", data)
+	}
+	var backEmpty Hist
+	if err := json.Unmarshal(data, &backEmpty); err != nil {
+		t.Fatal(err)
+	}
+	if backEmpty != empty {
+		t.Fatal("empty round trip mismatch")
+	}
+}
+
+func mustJSON(h *Hist) string {
+	b, err := json.Marshal(h)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}

@@ -59,6 +59,11 @@ type Config struct {
 	// the aset fast path. Results are bit-identical to the default; only
 	// simulator wall time changes.
 	ReferenceSets bool
+	// ReferenceStore backs the per-word values and per-line SON tables
+	// with the retained dense mem store instead of the paged one, the
+	// differential oracle for the paged backing. Results are
+	// bit-identical to the default; only memory footprint changes.
+	ReferenceStore bool
 }
 
 // DefaultConfig returns the evaluated configuration.
@@ -88,18 +93,20 @@ type Engine struct {
 	// the skipped invalidations are no-ops.
 	presence cache.Presence
 
-	// words, writeNums and readNums are flat tables keyed by word/line
+	// words, writeNums and readNums are paged tables keyed by word/line
 	// number: the simulated address space is dense (bump allocated),
 	// and words/writeNums sit on the per-access hot path where a map
-	// hash dominated.
-	words mem.Dense[uint64]
+	// hash dominated. The paged backing keeps the heap proportional to
+	// touched lines at serving-scale footprints (Config.ReferenceStore
+	// retains the dense backing as the differential oracle).
+	words mem.Paged[uint64]
 	// writeNums holds the SON of the last committed writer per line —
 	// SONTM's global write-numbers hashtable.
-	writeNums mem.Dense[uint64]
+	writeNums mem.Paged[uint64]
 	// readNums holds the maximum SON of any committed reader per line —
 	// the collapsed equivalent of the infinite read-history the paper
 	// models.
-	readNums mem.Dense[uint64]
+	readNums mem.Paged[uint64]
 
 	// active lists the in-flight transactions. A slice, not a set: the
 	// commit broadcast walks it once per written line, and every
@@ -125,12 +132,18 @@ type Engine struct {
 // New creates a SONTM engine.
 func New(cfg Config) *Engine {
 	e := &Engine{
-		cfg:     cfg,
-		shared:  cache.NewShared(cfg.Cache),
-		lastTxn: make(map[int]*txn),
+		cfg:      cfg,
+		shared:   cache.NewShared(cfg.Cache),
+		lastTxn:  make(map[int]*txn),
+		presence: cache.NewPresence(cfg.Cache.Scratch, cfg.ReferenceStore),
 	}
 	if cfg.ReferenceSets {
 		e.lastTxnSlow = make(map[int]*slowTxn)
+	}
+	if cfg.ReferenceStore {
+		e.words.SetReference()
+		e.writeNums.SetReference()
+		e.readNums.SetReference()
 	}
 	return e
 }
@@ -183,6 +196,7 @@ func (e *Engine) ReleaseCaches() {
 	}
 	e.hiers = nil
 	e.shared.Release()
+	e.presence.Release(e.cfg.Cache.Scratch)
 }
 
 // CacheStats returns aggregate cache statistics over all cores.

@@ -37,6 +37,12 @@ type EngineOptions struct {
 	// path. Results are bit-identical to the default; only simulator
 	// wall time changes.
 	ReferenceSets bool
+	// ReferenceStore backs the engines' per-word/per-line tables (and
+	// SI-TM's version table and presence filters) with the retained
+	// dense mem store instead of the paged one, the differential oracle
+	// for the paged backing (mem.Paged). Results are bit-identical to
+	// the default; only memory footprint changes.
+	ReferenceStore bool
 	// CacheScratch, when non-nil, recycles simulated cache arrays
 	// across the engines built with these options. It never changes
 	// simulated behaviour; callers own the scratch's single-threaded

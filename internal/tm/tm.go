@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/mem"
+	"repro/internal/report"
 	"repro/internal/sched"
 )
 
@@ -131,6 +132,12 @@ type Stats struct {
 	Aborts    [numAbortKinds]uint64
 	Stalls    uint64 // commit-window or token stalls
 	BackoffNs uint64 // simulated cycles spent in exponential backoff
+	// CommitHist is the commit-latency distribution in simulated cycles:
+	// for each Atomic that committed, the cycles from the start of its
+	// first attempt to commit success, aborted attempts and backoff
+	// included — the serving-systems tail metric (p50/p99/p999) the
+	// paper's abort-rate figures never show.
+	CommitHist report.Hist
 }
 
 // TotalAborts sums aborts over all kinds.
@@ -208,6 +215,7 @@ var ErrRetry = fmt.Errorf("tm: retry requested")
 // may return an error to abort and propagate the error to the caller
 // (after rolling back), or ErrRetry to abort and re-execute.
 func Atomic(e Engine, t *sched.Thread, backoff BackoffConfig, body func(Txn) error) error {
+	start := t.Cycles()
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if d := backoff.Delay(attempt, t.Rand()); d > 0 {
@@ -220,6 +228,7 @@ func Atomic(e Engine, t *sched.Thread, backoff BackoffConfig, body func(Txn) err
 		err := runAttempt(e, t, body)
 		switch {
 		case err == nil:
+			e.Stats().CommitHist.Record(t.Cycles() - start)
 			return nil
 		case err == ErrRetry:
 			continue

@@ -1,0 +1,43 @@
+package tmtest_test
+
+import (
+	"testing"
+
+	"repro/internal/oltp"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/txlib"
+)
+
+// TestRegistrySweepOLTP runs one small serving-tier cell on every engine
+// the registry knows: the workload invariant must hold, and the
+// commit-latency histogram must account for exactly the committed
+// transactions. Like TestRegistrySweep, an engine added in a future PR
+// is covered the moment it self-registers.
+func TestRegistrySweepOLTP(t *testing.T) {
+	for _, name := range tm.Engines() {
+		t.Run(name, func(t *testing.T) {
+			w := oltp.NewKV(0.9)
+			w.Keys = 1 << 14
+			w.TxnsPerThread = 12
+			e, err := tm.NewEngine(name, tm.EngineOptions{})
+			if err != nil {
+				t.Fatalf("constructing %s: %v", name, err)
+			}
+			m := txlib.NewMem(e)
+			w.Setup(m, 4)
+			bo := tm.DefaultBackoff()
+			sched.New(4, 7).Run(func(th *sched.Thread) { w.Run(m, th, bo) })
+			if msg := w.Validate(m); msg != "" {
+				t.Fatal(msg)
+			}
+			st := e.Stats()
+			if st.Commits == 0 {
+				t.Fatal("no commits")
+			}
+			if got := st.CommitHist.Total(); got != st.Commits {
+				t.Fatalf("commit histogram holds %d observations, stats count %d commits", got, st.Commits)
+			}
+		})
+	}
+}

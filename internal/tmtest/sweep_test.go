@@ -51,6 +51,7 @@ func TestRegistrySweepOptions(t *testing.T) {
 	opts := map[string]tm.EngineOptions{
 		"word-granularity":   {WordGranularity: true},
 		"unbounded-versions": {UnboundedVersions: true},
+		"reference-store":    {ReferenceStore: true},
 	}
 	for _, name := range tm.Engines() {
 		for label, o := range opts {

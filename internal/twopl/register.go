@@ -10,6 +10,7 @@ func init() {
 		cfg.Cache.Scratch = o.CacheScratch
 		cfg.Cache.Reference = o.ReferenceCache
 		cfg.ReferenceSets = o.ReferenceSets
+		cfg.ReferenceStore = o.ReferenceStore
 		return New(cfg)
 	})
 }

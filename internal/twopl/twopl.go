@@ -56,6 +56,11 @@ type Config struct {
 	// the aset fast path. Results are bit-identical to the default; only
 	// simulator wall time changes.
 	ReferenceSets bool
+	// ReferenceStore backs the per-word values and per-line lock tables
+	// with the retained dense mem store instead of the paged one, the
+	// differential oracle for the paged backing. Results are
+	// bit-identical to the default; only memory footprint changes.
+	ReferenceStore bool
 }
 
 // DefaultConfig returns the evaluated configuration: idealised unbounded
@@ -96,11 +101,14 @@ type Engine struct {
 	// filtered publish is observably identical.
 	presence cache.Presence
 
-	// words and lines are flat tables keyed by word/line number: the
+	// words and lines are paged tables keyed by word/line number: the
 	// simulated address space is dense (bump allocated), and these sit
-	// on the per-access hot path where a map hash dominated.
-	words  mem.Dense[uint64]
-	lines  mem.Dense[lineState]
+	// on the per-access hot path where a map hash dominated. The paged
+	// backing keeps the heap proportional to touched lines at
+	// serving-scale footprints (Config.ReferenceStore retains the dense
+	// backing as the differential oracle).
+	words  mem.Paged[uint64]
+	lines  mem.Paged[lineState]
 	txnSeq uint64
 
 	// lastTxn recycles each thread's most recent transaction object:
@@ -122,13 +130,18 @@ type Engine struct {
 // New creates a 2PL engine.
 func New(cfg Config) *Engine {
 	e := &Engine{
-		cfg:     cfg,
-		shared:  cache.NewShared(cfg.Cache),
-		lastTxn: make(map[int]*txn),
+		cfg:      cfg,
+		shared:   cache.NewShared(cfg.Cache),
+		lastTxn:  make(map[int]*txn),
+		presence: cache.NewPresence(cfg.Cache.Scratch, cfg.ReferenceStore),
 	}
 	e.liveReader = e.readerLive
 	if cfg.ReferenceSets {
 		e.lastTxnSlow = make(map[int]*slowTxn)
+	}
+	if cfg.ReferenceStore {
+		e.words.SetReference()
+		e.lines.SetReference()
 	}
 	return e
 }
@@ -181,6 +194,7 @@ func (e *Engine) ReleaseCaches() {
 	}
 	e.hiers = nil
 	e.shared.Release()
+	e.presence.Release(e.cfg.Cache.Scratch)
 }
 
 // CacheStats returns aggregate cache statistics over all cores.
@@ -227,18 +241,21 @@ func (e *Engine) AuditAccessSets() error {
 			return fmt.Errorf("twopl: thread %d leaked %d read-set lines", id, n)
 		}
 	}
-	sl := e.lines.Slice()
-	for i := range sl {
-		st := &sl[i]
+	var auditErr error
+	e.lines.Range(func(i uint64, st *lineState) {
+		if auditErr != nil {
+			return
+		}
 		if w := st.writer; w != nil && w.epoch == st.wEpoch && !w.finished {
-			return fmt.Errorf("twopl: line %d holds a live writer after quiescence", i)
+			auditErr = fmt.Errorf("twopl: line %d holds a live writer after quiescence", i)
+			return
 		}
 		st.readers.Compact(e.liveReader)
 		if n := st.readers.Len(); n != 0 {
-			return fmt.Errorf("twopl: line %d holds %d live reader records after quiescence", i, n)
+			auditErr = fmt.Errorf("twopl: line %d holds %d live reader records after quiescence", i, n)
 		}
-	}
-	return nil
+	})
+	return auditErr
 }
 
 // readerLive is the liveness predicate of reader records: live while the
